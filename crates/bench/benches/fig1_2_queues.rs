@@ -1,0 +1,75 @@
+//! Figures 1 & 2: lock-free and wait-free queues, enqueue/dequeue pairs.
+//!
+//! Paper workload: 10⁷ pairs per run (env `ORC_BENCH_OPS`, default scaled
+//! down), thread sweep, throughput normalized against the leaky
+//! Michael–Scott baseline. Series: MS queue without reclamation (None),
+//! MS/LCRQ/KP/Turn queues under OrcGC.
+//!
+//! Expected shape (paper §5): OrcGC costs the most at 1 thread (extra
+//! counter code), can *help* at low contention on MS (natural back-off),
+//! and converges as contention dominates; LCRQ stays fastest overall.
+
+use reclaim::Leaky;
+use std::sync::Arc;
+use structures::queue::{KpQueueOrc, LcrqOrc, MsQueue, MsQueueOrc, TurnQueueOrc};
+use workloads::throughput::queue_pairs;
+use workloads::{print_header, print_row, BenchConfig, Measurement};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    print_header("Figures 1-2: queues, enqueue/dequeue pairs");
+    let mut all: Vec<Measurement> = Vec::new();
+    for &threads in &cfg.threads {
+        let pairs = cfg.queue_pairs;
+        let baseline = {
+            let q = Arc::new(MsQueue::new(Leaky::new()));
+            let m = queue_pairs("fig1-2", "MSQueue+None", q, threads, pairs);
+            print_row(&m);
+            let mops = m.mops;
+            all.push(m);
+            mops
+        };
+        let m = queue_pairs(
+            "fig1-2",
+            "MSQueue+OrcGC",
+            Arc::new(MsQueueOrc::new()),
+            threads,
+            pairs,
+        );
+        print_row(&m);
+        all.push(m);
+        let m = queue_pairs(
+            "fig1-2",
+            "LCRQ+OrcGC",
+            Arc::new(LcrqOrc::new()),
+            threads,
+            pairs,
+        );
+        print_row(&m);
+        all.push(m);
+        let m = queue_pairs(
+            "fig1-2",
+            "KPQueue+OrcGC",
+            Arc::new(KpQueueOrc::new()),
+            threads,
+            pairs,
+        );
+        print_row(&m);
+        all.push(m);
+        let m = queue_pairs(
+            "fig1-2",
+            "TurnQueue+OrcGC",
+            Arc::new(TurnQueueOrc::new()),
+            threads,
+            pairs,
+        );
+        print_row(&m);
+        all.push(m);
+        // Normalized view (the paper's y-axis).
+        println!("  normalized vs MSQueue+None @ {threads} threads:");
+        for m in all.iter().rev().take(4).collect::<Vec<_>>().iter().rev() {
+            println!("    {:<20} {:.2}x", m.series, m.mops / baseline);
+        }
+    }
+    workloads::record::maybe_dump_json(&all);
+}

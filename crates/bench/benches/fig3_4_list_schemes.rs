@@ -1,0 +1,69 @@
+//! Figures 3 & 4: the Michael–Harris list under every reclamation scheme.
+//!
+//! Paper workload: 10³ keys, three mixes (50i/50r, 5i/5r/90l, 100l),
+//! thread sweep. Series: HP, PTB, PTP, HE, EBR, None (manual-generic
+//! list) and OrcGC (annotated list).
+//!
+//! Expected shape (paper §5): the manual pointer-based schemes (HP, PTB,
+//! PTP) cluster together; HE/EBR lead on read-heavy mixes (fewer fences);
+//! OrcGC tracks the pack on Intel and pays up to ~50% on write-heavy
+//! mixes on AMD (architecture-dependent `xchg` cost).
+
+use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
+use std::sync::Arc;
+use structures::list::{MichaelList, MichaelListOrc};
+use workloads::throughput::{prefill_set, set_mix, Mix};
+use workloads::{print_header, print_row, BenchConfig, Measurement};
+
+fn run_manual<S: Smr>(
+    all: &mut Vec<Measurement>,
+    cfg: &BenchConfig,
+    smr: S,
+    series: &str,
+    threads: usize,
+    mix: Mix,
+) {
+    let list = Arc::new(MichaelList::new(smr));
+    prefill_set(&*list, cfg.keys_small);
+    let m = set_mix(
+        "fig3-4",
+        series,
+        list,
+        threads,
+        cfg.keys_small,
+        mix,
+        cfg.seconds_per_point,
+    );
+    print_row(&m);
+    all.push(m);
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    print_header("Figures 3-4: Michael-Harris list x reclamation schemes, 10^3 keys");
+    let mut all = Vec::new();
+    for &mix in &[Mix::WRITE_HEAVY, Mix::MIXED, Mix::READ_ONLY] {
+        for &threads in &cfg.threads {
+            run_manual(&mut all, &cfg, HazardPointers::new(), "HP", threads, mix);
+            run_manual(&mut all, &cfg, PassTheBuck::new(), "PTB", threads, mix);
+            run_manual(&mut all, &cfg, PassThePointer::new(), "PTP", threads, mix);
+            run_manual(&mut all, &cfg, HazardEras::new(), "HE", threads, mix);
+            run_manual(&mut all, &cfg, Ebr::new(), "EBR", threads, mix);
+            run_manual(&mut all, &cfg, Leaky::new(), "None", threads, mix);
+            let list = Arc::new(MichaelListOrc::new());
+            prefill_set(&*list, cfg.keys_small);
+            let m = set_mix(
+                "fig3-4",
+                "OrcGC",
+                list,
+                threads,
+                cfg.keys_small,
+                mix,
+                cfg.seconds_per_point,
+            );
+            print_row(&m);
+            all.push(m);
+        }
+    }
+    workloads::record::maybe_dump_json(&all);
+}

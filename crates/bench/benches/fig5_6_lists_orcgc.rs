@@ -1,0 +1,47 @@
+//! Figures 5 & 6: four linked lists under OrcGC, 10³ keys.
+//!
+//! The point of this figure in the paper: apart from Michael's list,
+//! these algorithms previously had *no* usable lock-free reclamation —
+//! OrcGC makes them comparable on equal terms with nothing but type
+//! annotations. Series: Harris (original), Michael, HS (wait-free
+//! lookups), TBKP (wait-free list, reconstruction).
+//!
+//! Expected shape (paper §5): all four cluster; HS leads on lookup-heavy
+//! mixes (no restarts), TBKP pays its descriptor overhead.
+
+use std::sync::Arc;
+use structures::list::{HarrisListOrc, HsListOrc, MichaelListOrc, TbkpListOrc};
+use workloads::throughput::{prefill_set, set_mix, Mix};
+use workloads::{print_header, print_row, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    print_header("Figures 5-6: linked lists with OrcGC, 10^3 keys");
+    let mut all = Vec::new();
+    for &mix in &[Mix::WRITE_HEAVY, Mix::MIXED, Mix::READ_ONLY] {
+        for &threads in &cfg.threads {
+            macro_rules! run {
+                ($ctor:expr, $name:expr) => {{
+                    let list = Arc::new($ctor);
+                    prefill_set(&*list, cfg.keys_small);
+                    let m = set_mix(
+                        "fig5-6",
+                        $name,
+                        list,
+                        threads,
+                        cfg.keys_small,
+                        mix,
+                        cfg.seconds_per_point,
+                    );
+                    print_row(&m);
+                    all.push(m);
+                }};
+            }
+            run!(HarrisListOrc::new(), "Harris");
+            run!(MichaelListOrc::new(), "Michael");
+            run!(HsListOrc::new(), "HS");
+            run!(TbkpListOrc::new(), "TBKP");
+        }
+    }
+    workloads::record::maybe_dump_json(&all);
+}

@@ -1,0 +1,52 @@
+//! Figures 7 & 8: tree and skip lists, large key range.
+//!
+//! Paper workload: 10⁶ keys (env `ORC_BENCH_KEYS_LARGE`; default scaled
+//! to 10⁵), three mixes, thread sweep. Series: NM-tree under manual
+//! schemes (HP, PTP) and OrcGC — "with automatic or manual memory
+//! reclamation, whenever the data structure algorithm allows it" — plus
+//! HS-skip and CRF-skip, which only OrcGC can serve.
+//!
+//! Expected shape (paper §5): the NM-tree echoes the list results (OrcGC
+//! within ~2x of manual, worst on write-heavy mixes); CRF-skip typically
+//! outperforms HS-skip while using far less memory (see
+//! `mem_usage_skiplists`).
+
+use reclaim::{HazardPointers, PassThePointer};
+use std::sync::Arc;
+use structures::skiplist::{CrfSkipListOrc, HsSkipListOrc};
+use structures::tree::{NmTree, NmTreeOrc};
+use workloads::throughput::{prefill_set, set_mix, Mix};
+use workloads::{print_header, print_row, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    print_header("Figures 7-8: NM-tree and skip lists, large key range");
+    let mut all = Vec::new();
+    for &mix in &[Mix::WRITE_HEAVY, Mix::MIXED, Mix::READ_ONLY] {
+        for &threads in &cfg.threads {
+            macro_rules! run {
+                ($ctor:expr, $name:expr) => {{
+                    let set = Arc::new($ctor);
+                    prefill_set(&*set, cfg.keys_large);
+                    let m = set_mix(
+                        "fig7-8",
+                        $name,
+                        set,
+                        threads,
+                        cfg.keys_large,
+                        mix,
+                        cfg.seconds_per_point,
+                    );
+                    print_row(&m);
+                    all.push(m);
+                }};
+            }
+            run!(NmTree::new(HazardPointers::new()), "NM-tree+HP");
+            run!(NmTree::new(PassThePointer::new()), "NM-tree+PTP");
+            run!(NmTreeOrc::new(), "NM-tree+OrcGC");
+            run!(HsSkipListOrc::new(), "HS-skip+OrcGC");
+            run!(CrfSkipListOrc::new(), "CRF-skip+OrcGC");
+        }
+    }
+    workloads::record::maybe_dump_json(&all);
+}

@@ -1,0 +1,70 @@
+//! Table 1, measured: maximum retired-but-unreclaimed objects per scheme
+//! under the stalled-reader adversary.
+//!
+//! Readers grab protections (hazard slots / era reservations / epoch pins
+//! / OrcPtr guards) and stall; a writer swaps and retires as fast as it
+//! can. The observed backlog ceiling reflects each scheme's bound:
+//!
+//! | Scheme | Claimed bound | Expected observation |
+//! |---|---|---|
+//! | EBR | ∞ (blocking) | grows linearly with writer ops |
+//! | HP / PTB | O(H·t²) | plateaus at the scan threshold (~2Ht+8 per thread) |
+//! | HE | O(#L·H·t²) | plateaus highest among the bounded schemes |
+//! | PTP / OrcGC | O(H·t) | smallest plateau, independent of writer ops |
+
+use reclaim::{Ebr, HazardEras, HazardPointers, PassTheBuck, PassThePointer, Smr};
+use std::time::Duration;
+use workloads::bound::{stalled_reader_bound, stalled_reader_bound_orc};
+use workloads::{print_header, print_row, Measurement};
+
+fn run<S: Smr + Clone>(smr: &S, readers: usize, ops: u64) -> Measurement {
+    let start = std::time::Instant::now();
+    let r = stalled_reader_bound(smr, readers, reclaim::MAX_HPS, ops);
+    Measurement::new(
+        "table1",
+        smr.name(),
+        "stalled-reader",
+        readers + 1,
+        r.writer_ops,
+        start.elapsed(),
+    )
+    .with_unreclaimed(r.max_unreclaimed as i64)
+}
+
+fn main() {
+    let readers = 3;
+    let ops: u64 = std::env::var("ORC_BENCH_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    print_header("Table 1 (measured): max unreclaimed objects, stalled readers");
+    let mut all = vec![
+        run(&Ebr::new(), readers, ops),
+        run(&HazardPointers::new(), readers, ops),
+        run(&PassTheBuck::new(), readers, ops),
+        run(&HazardEras::new(), readers, ops),
+        run(&PassThePointer::new(), readers, ops),
+    ];
+    {
+        let start = std::time::Instant::now();
+        let r = stalled_reader_bound_orc(readers, reclaim::MAX_HPS, ops);
+        all.push(
+            Measurement::new(
+                "table1",
+                "OrcGC",
+                "stalled-reader",
+                readers + 1,
+                r.writer_ops,
+                start.elapsed().max(Duration::from_nanos(1)),
+            )
+            .with_unreclaimed(r.max_unreclaimed as i64),
+        );
+    }
+    for m in &all {
+        print_row(m);
+    }
+    println!(
+        "\n  PTP/OrcGC should plateau lowest (O(Ht)); EBR should scale with writer ops (unbounded)."
+    );
+    workloads::record::maybe_dump_json(&all);
+}

@@ -1,0 +1,53 @@
+//! Quick single-thread profiling helper for the set structures'
+//! `contains` paths (not part of the figure suite; useful when tuning).
+use std::time::Instant;
+use structures::list::MichaelListOrc;
+use structures::skiplist::CrfSkipListOrc;
+use structures::tree::NmTreeOrc;
+use workloads::throughput::prefill_set;
+
+fn main() {
+    let t = NmTreeOrc::new();
+    prefill_set(&t, 50_000);
+    let start = Instant::now();
+    let n = 200_000u64;
+    let mut hits = 0u64;
+    for i in 0..n {
+        if t.contains(&(i % 50_000)) {
+            hits += 1;
+        }
+    }
+    println!(
+        "tree contains: {:.3} Mops/s (hits {hits})",
+        n as f64 / start.elapsed().as_secs_f64() / 1e6
+    );
+
+    let s = CrfSkipListOrc::new();
+    prefill_set(&s, 50_000);
+    let start = Instant::now();
+    for i in 0..n {
+        if s.contains(&(i % 50_000)) {
+            hits += 1;
+        }
+    }
+    println!(
+        "skip contains: {:.3} Mops/s",
+        n as f64 / start.elapsed().as_secs_f64() / 1e6
+    );
+
+    let l = MichaelListOrc::new();
+    for k in (0..1000u64).step_by(2) {
+        l.add(k);
+    }
+    let start = Instant::now();
+    let n2 = 50_000u64;
+    for i in 0..n2 {
+        if l.contains(&(i % 1000)) {
+            hits += 1;
+        }
+    }
+    println!(
+        "list contains: {:.3} Mops/s (hits {hits})",
+        n2 as f64 / start.elapsed().as_secs_f64() / 1e6
+    );
+}

@@ -1,0 +1,1 @@
+// bench crate has no library code

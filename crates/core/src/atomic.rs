@@ -1,0 +1,426 @@
+//! `orc_atomic` — annotated shared links (paper Algorithm 4).
+//!
+//! An [`OrcAtomic<T>`] is the one-for-one replacement of
+//! `std::atomic<Node*>` in an OrcGC-annotated structure: every mutation
+//! (`store`, `cas`, `swap`) transparently maintains the `_orc` hard-link
+//! counters of the old and new targets, and `load` returns a protected
+//! [`OrcPtr`]. Link words may carry Harris-style mark/tag bits in their low
+//! two bits; tag-only transitions (marking a link for deletion) are
+//! counter-neutral because both words reference the same object.
+//!
+//! Safety is carried by the types: every operation that installs a new
+//! non-sentinel pointer takes it as an `&OrcPtr<T>`, whose existence
+//! guarantees the protection `incrementOrc` requires (Proposition 1).
+
+use crate::domain::{cur_tid, domain};
+use crate::header::{Linked, OrcHeader};
+use crate::ptr::{poison_word, protectable, OrcPtr};
+use orc_util::marked;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An annotated atomic link to a tracked object (`orc_atomic<T*>`).
+pub struct OrcAtomic<T> {
+    word: AtomicUsize,
+    _pd: PhantomData<*mut Linked<T>>,
+}
+
+unsafe impl<T: Send + Sync> Send for OrcAtomic<T> {}
+unsafe impl<T: Send + Sync> Sync for OrcAtomic<T> {}
+
+impl<T: Send + Sync> OrcAtomic<T> {
+    /// A null link.
+    pub const fn null() -> Self {
+        Self {
+            word: AtomicUsize::new(0),
+            _pd: PhantomData,
+        }
+    }
+
+    /// A link initialized to the poison sentinel (CRF-skip).
+    pub fn poisoned() -> Self {
+        Self {
+            word: AtomicUsize::new(poison_word()),
+            _pd: PhantomData,
+        }
+    }
+
+    /// Constructs a link already pointing at `p` (the `orc_atomic(T ptr)`
+    /// constructor): counts the hard link.
+    pub fn new(p: &OrcPtr<T>) -> Self {
+        let tid = cur_tid();
+        domain().increment_orc(tid, protectable(p.raw()) as *mut OrcHeader);
+        Self {
+            word: AtomicUsize::new(p.raw()),
+            _pd: PhantomData,
+        }
+    }
+
+    /// Protected load: claims a hazard slot, publishes, re-validates.
+    /// Returns the observed word (with tag bits) behind a guard.
+    pub fn load(&self) -> OrcPtr<T> {
+        let tid = cur_tid();
+        let d = domain();
+        let idx = d.get_new_idx(tid);
+        let word = d.get_protected(tid, idx, &self.word);
+        if protectable(word) == 0 {
+            d.clear(tid, idx, 0);
+            return OrcPtr::unprotected(word);
+        }
+        OrcPtr::new(word, idx, tid)
+    }
+
+    /// Unprotected raw read of the link word. For equality/mark tests only;
+    /// the result must never be dereferenced.
+    #[inline]
+    pub fn load_raw(&self) -> usize {
+        self.word.load(Ordering::SeqCst)
+    }
+
+    /// Unprotected dereferencing load, for quiescent contexts (sizing a
+    /// structure in a test, walking it in a drop path). Claims no hazard
+    /// slot, so arbitrarily deep traversals are fine.
+    ///
+    /// # Safety
+    /// No thread may concurrently retire objects reachable from this link
+    /// for the lifetime of the returned reference.
+    #[inline]
+    pub unsafe fn load_quiescent(&self) -> Option<&T> {
+        let t = protectable(self.word.load(Ordering::SeqCst));
+        if t == 0 {
+            None
+        } else {
+            Some(unsafe { OrcHeader::value::<T>(t as *mut OrcHeader) })
+        }
+    }
+
+    /// Store (Algorithm 4, lines 63–67): count the new link *first* (the
+    /// guard protects it), exchange, then un-count the displaced link.
+    pub fn store(&self, p: &OrcPtr<T>) {
+        self.store_tagged(p, marked::tag_bits(p.raw()));
+    }
+
+    /// Store with explicit tag bits on the installed word.
+    pub fn store_tagged(&self, p: &OrcPtr<T>, tag: usize) {
+        let tid = cur_tid();
+        let d = domain();
+        let new_word = p.with_tag(tag);
+        d.increment_orc(tid, protectable(new_word) as *mut OrcHeader);
+        let old = self.word.swap(new_word, Ordering::SeqCst);
+        d.decrement_orc(tid, protectable(old) as *mut OrcHeader);
+    }
+
+    /// Store null, un-counting the displaced link.
+    pub fn store_null(&self) {
+        let tid = cur_tid();
+        let old = self.word.swap(0, Ordering::SeqCst);
+        domain().decrement_orc(tid, protectable(old) as *mut OrcHeader);
+    }
+
+    /// Store the poison sentinel, un-counting the displaced link
+    /// (CRF-skip's node isolation).
+    pub fn store_poison(&self) {
+        let tid = cur_tid();
+        let old = self.word.swap(poison_word(), Ordering::SeqCst);
+        domain().decrement_orc(tid, protectable(old) as *mut OrcHeader);
+    }
+
+    /// CAS (Algorithm 4, lines 69–74): on success, count the new target and
+    /// un-count the old. `expected` is a full word (use
+    /// [`OrcPtr::with_tag`]/[`OrcPtr::raw`] to build it); the new word is
+    /// `new.with_tag(new_tag)`, protected by `new`'s guard.
+    pub fn cas_tagged(&self, expected: usize, new: &OrcPtr<T>, new_tag: usize) -> bool {
+        self.cas_words(expected, new.with_tag(new_tag))
+    }
+
+    /// CAS between two guards with clean tags.
+    pub fn cas(&self, expected: &OrcPtr<T>, new: &OrcPtr<T>) -> bool {
+        self.cas_words(expected.raw(), new.raw())
+    }
+
+    /// CAS installing null.
+    pub fn cas_null(&self, expected: usize) -> bool {
+        self.cas_words(expected, 0)
+    }
+
+    /// CAS installing the poison sentinel.
+    pub fn cas_poison(&self, expected: usize) -> bool {
+        self.cas_words(expected, poison_word())
+    }
+
+    /// Tag-only CAS: `expected` and `new` must reference the same object
+    /// (or both be sentinels), so no counter updates are needed. This is
+    /// how Harris-style logical deletion marks a link.
+    pub fn cas_tag_only(&self, expected: usize, new: usize) -> bool {
+        assert_eq!(
+            protectable(expected),
+            protectable(new),
+            "cas_tag_only must not change the link target"
+        );
+        self.word
+            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn cas_words(&self, expected: usize, new_word: usize) -> bool {
+        if self
+            .word
+            .compare_exchange(expected, new_word, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        let newt = protectable(new_word);
+        let oldt = protectable(expected);
+        if newt != oldt {
+            let tid = cur_tid();
+            let d = domain();
+            d.increment_orc(tid, newt as *mut OrcHeader);
+            d.decrement_orc(tid, oldt as *mut OrcHeader);
+        }
+        true
+    }
+
+    /// Exchange: installs `p` and returns the displaced link as a guard.
+    ///
+    /// The displaced object is published in a fresh hazard slot *before*
+    /// its link is un-counted, so the returned guard keeps it alive even if
+    /// the un-count drops its counter to zero (the retirement scan then
+    /// parks it on our slot, and the guard's drop finishes the job).
+    pub fn swap(&self, p: &OrcPtr<T>) -> OrcPtr<T> {
+        let tid = cur_tid();
+        let d = domain();
+        d.increment_orc(tid, protectable(p.raw()) as *mut OrcHeader);
+        let old = self.word.swap(p.raw(), Ordering::SeqCst);
+        self.guard_displaced(tid, old)
+    }
+
+    /// Exchange installing null; returns the displaced link as a guard.
+    pub fn take(&self) -> OrcPtr<T> {
+        let tid = cur_tid();
+        let old = self.word.swap(0, Ordering::SeqCst);
+        self.guard_displaced(tid, old)
+    }
+
+    fn guard_displaced(&self, tid: usize, old: usize) -> OrcPtr<T> {
+        let d = domain();
+        let oldt = protectable(old);
+        if oldt == 0 {
+            return OrcPtr::unprotected(old);
+        }
+        // `old` is alive here: its hard link was counted (or its writer
+        // still protects it), and only our swap removed it — see the
+        // module docs of `domain`. Publish first, then un-count.
+        let idx = d.get_new_idx(tid);
+        d.publish(tid, idx, old);
+        d.decrement_orc(tid, oldt as *mut OrcHeader);
+        OrcPtr::new(old, idx, tid)
+    }
+}
+
+impl<T: Send + Sync> Default for OrcAtomic<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> Drop for OrcAtomic<T> {
+    /// `~orc_atomic` (Algorithm 4, lines 58–61): un-count the final link.
+    /// Runs both for structure roots dropping and, crucially, for the link
+    /// fields of a node being deleted — which is what cascades reclamation
+    /// through unreachable chains.
+    fn drop(&mut self) {
+        let old = *self.word.get_mut();
+        let oldt = protectable(old);
+        if oldt != 0 {
+            let tid = cur_tid();
+            domain().decrement_orc(tid, oldt as *mut OrcHeader);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for OrcAtomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let w = self.word.load(Ordering::Relaxed);
+        f.debug_struct("OrcAtomic")
+            .field("ptr", &(marked::unmark(w) as *const ()))
+            .field("mark", &marked::is_marked(w))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::make_orc;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+
+    struct Probe(Arc<StdAtomicUsize>);
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn probe() -> (Arc<StdAtomicUsize>, OrcPtr<Probe>) {
+        let n = Arc::new(StdAtomicUsize::new(0));
+        let p = make_orc(Probe(n.clone()));
+        (n, p)
+    }
+
+    #[test]
+    fn linked_object_survives_guard_drop() {
+        let (drops, p) = probe();
+        let link = OrcAtomic::new(&p);
+        drop(p);
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "hard link keeps it alive");
+        drop(link);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            1,
+            "last link unlinks -> delete"
+        );
+    }
+
+    #[test]
+    fn store_replaces_and_collects_old() {
+        let (d1, p1) = probe();
+        let (d2, p2) = probe();
+        let link = OrcAtomic::null();
+        link.store(&p1);
+        drop(p1);
+        link.store(&p2);
+        assert_eq!(d1.load(Ordering::SeqCst), 1, "displaced object collected");
+        assert_eq!(d2.load(Ordering::SeqCst), 0);
+        drop(p2);
+        drop(link);
+        assert_eq!(d2.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn load_protects_against_unlink() {
+        let (drops, p) = probe();
+        let link = OrcAtomic::new(&p);
+        drop(p);
+        let guard = link.load();
+        link.store_null();
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "guard must keep the unlinked object alive"
+        );
+        drop(guard);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let (d1, p1) = probe();
+        let (d2, p2) = probe();
+        let link = OrcAtomic::new(&p1);
+        assert!(!link.cas(&p2, &p2), "expected mismatch must fail");
+        assert!(link.cas(&p1, &p2));
+        drop(p1);
+        assert_eq!(d1.load(Ordering::SeqCst), 1);
+        drop(p2);
+        drop(link);
+        assert_eq!(d2.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn tag_only_cas_is_counter_neutral() {
+        let (drops, p) = probe();
+        let link = OrcAtomic::new(&p);
+        let w = p.raw();
+        assert!(link.cas_tag_only(w, orc_util::marked::mark(w)));
+        assert!(orc_util::marked::is_marked(link.load_raw()));
+        // Marking must not have disturbed the count: object still alive
+        // through the (marked) link after the guard goes.
+        drop(p);
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(link);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn swap_returns_protected_old() {
+        let (d1, p1) = probe();
+        let (_d2, p2) = probe();
+        let link = OrcAtomic::new(&p1);
+        drop(p1);
+        let old = link.swap(&p2);
+        assert!(!old.is_null());
+        assert_eq!(d1.load(Ordering::SeqCst), 0, "returned guard protects old");
+        drop(old);
+        assert_eq!(d1.load(Ordering::SeqCst), 1);
+        drop(p2);
+        drop(link);
+    }
+
+    #[test]
+    fn take_empties_the_link() {
+        let (drops, p) = probe();
+        let link = OrcAtomic::new(&p);
+        drop(p);
+        let old = link.take();
+        assert!(link.load().is_null());
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(old);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        drop(link); // null: no effect
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn chain_deletion_cascades_without_stack_overflow() {
+        // Build a long singly-linked chain and drop the head link: the
+        // recursive_list must flatten the cascade.
+        struct Node {
+            _payload: u64,
+            next: OrcAtomic<Node>,
+        }
+        let n = 200_000;
+        let head: OrcAtomic<Node> = OrcAtomic::null();
+        let mut prev = OrcPtr::<Node>::null();
+        for i in 0..n {
+            let node = make_orc(Node {
+                _payload: i,
+                next: OrcAtomic::null(),
+            });
+            if !prev.is_null() {
+                node.next.store(&prev);
+            }
+            prev = node;
+        }
+        head.store(&prev);
+        drop(prev);
+        let before = orc_util::track::global().live_objects();
+        drop(head); // must not overflow the stack
+        let after = orc_util::track::global().live_objects();
+        assert!(
+            before - after >= n as i64 - 8,
+            "cascade freed only {} of {n}",
+            before - after
+        );
+    }
+
+    #[test]
+    fn reinsertion_revives_a_retired_object() {
+        // The third obstacle of §2: an object taken out and re-linked must
+        // not be freed. Hold a guard, unlink (counter -> 0, retired),
+        // re-link from the guard, then verify it survives.
+        let (drops, p) = probe();
+        let link = OrcAtomic::new(&p);
+        let guard = link.load();
+        link.store_null(); // counter hits zero; object parked on our guard
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        let link2 = OrcAtomic::new(&guard); // re-insert
+        drop(guard);
+        drop(p);
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "revived object is alive");
+        drop(link2);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        drop(link);
+    }
+}

@@ -1,0 +1,517 @@
+//! The `PassThePointerOrcGC` machinery (paper Algorithms 3, 5 and 6).
+//!
+//! One process-wide [`Domain`] holds, per thread: the hazard-pointer array
+//! `hp[MAX_HPS]`, the matching `handovers[MAX_HPS]` array, the
+//! `used_haz` slot-sharing counts, and the recursive-retire state. Slot 0
+//! of every row is reserved as the *scratch* slot used internally by
+//! `decrement_orc` and `clear_bit_retired` (Proposition 1: the `_orc` word
+//! may only be modified while the object is published in some hazard
+//! slot); user-visible [`OrcPtr`](crate::OrcPtr) guards always occupy
+//! indices ≥ 1.
+//!
+//! Deviations from the C++ listing, with rationale:
+//!
+//! * `clear` (Algorithm 5, lines 80–90) additionally **drains the handover
+//!   entry** of the slot being released, and internal scratch uses drain
+//!   `handovers[0]`, so parked objects are never stranded on a slot that
+//!   stops being used. The paper notes objects "may be left indefinitely"
+//!   otherwise; draining preserves the bound and makes reclamation exact.
+//! * The thread claiming `BRETIRED` nulls its own protecting slot *before*
+//!   entering `retire`, so the hand-over scan does not immediately park the
+//!   object back on the claimant.
+
+use crate::header::OrcHeader;
+use crate::word::{is_zero_retired, is_zero_unclaimed, BRETIRED, SEQ};
+use orc_util::{registry, track, CachePadded};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Hazard slots per thread (the paper's `maxHPs` capacity; the live
+/// watermark is tracked dynamically in [`Domain::max_hps`]). Deep skip-list
+/// traversals hold two guards per level, so this is sized generously.
+pub const MAX_HPS: usize = 80;
+
+/// Sentinel meaning "this OrcPtr occupies no hazard slot" (null/poison).
+pub const NO_IDX: u16 = u16::MAX;
+
+/// Per-thread state (the paper's `TLInfo`).
+pub(crate) struct TlInfo {
+    /// Published hazard pointers (unmarked `*mut OrcHeader` words; 0 = empty).
+    pub(crate) hp: [AtomicUsize; MAX_HPS],
+    /// Objects whose reclamation was handed over to this slot's protector.
+    pub(crate) handovers: [AtomicUsize; MAX_HPS],
+    /// Slot-sharing counts; owner-thread access only.
+    used_haz: UnsafeCell<[u32; MAX_HPS]>,
+    /// Owner-thread-only recursive-retire state.
+    retire_started: UnsafeCell<bool>,
+    recursive_list: UnsafeCell<Vec<*mut OrcHeader>>,
+}
+
+// Owner-discipline: `used_haz`, `retire_started` and `recursive_list` are
+// only touched by the owning tid (enforced by the `tid` parameters below);
+// `hp`/`handovers` are atomics.
+unsafe impl Sync for TlInfo {}
+unsafe impl Send for TlInfo {}
+
+impl TlInfo {
+    fn new() -> Self {
+        Self {
+            hp: std::array::from_fn(|_| AtomicUsize::new(0)),
+            handovers: std::array::from_fn(|_| AtomicUsize::new(0)),
+            used_haz: UnsafeCell::new([0; MAX_HPS]),
+            retire_started: UnsafeCell::new(false),
+            recursive_list: UnsafeCell::new(Vec::new()),
+        }
+    }
+}
+
+/// The global OrcGC domain (`PassThePointerOrcGC` + `g_ptp` in the paper).
+pub struct Domain {
+    pub(crate) tl: Box<[CachePadded<TlInfo>]>,
+    /// Watermark of the highest slot index ever used, bounding scans.
+    pub(crate) max_hps: AtomicUsize,
+    /// Retired-but-not-deleted high-water metrics.
+    retired_now: AtomicU64,
+    retired_max: AtomicU64,
+}
+
+unsafe impl Sync for Domain {}
+unsafe impl Send for Domain {}
+
+impl Domain {
+    fn new() -> Self {
+        Self {
+            tl: (0..registry::max_threads())
+                .map(|_| CachePadded::new(TlInfo::new()))
+                .collect(),
+            max_hps: AtomicUsize::new(1),
+            retired_now: AtomicU64::new(0),
+            retired_max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tl(&self, tid: usize) -> &TlInfo {
+        &self.tl[tid]
+    }
+
+    // ---- accounting ---------------------------------------------------
+
+    #[inline]
+    pub(crate) fn note_retired(&self) {
+        let now = self.retired_now.fetch_add(1, Ordering::Relaxed) + 1;
+        self.retired_max.fetch_max(now, Ordering::Relaxed);
+        track::global().on_retire();
+    }
+
+    #[inline]
+    fn note_unretired(&self) {
+        self.retired_now.fetch_sub(1, Ordering::Relaxed);
+        track::global().on_reclaim();
+    }
+
+    #[inline]
+    fn note_destroyed(&self) {
+        self.retired_now.fetch_sub(1, Ordering::Relaxed);
+        track::global().on_reclaim();
+    }
+
+    /// Objects currently claimed-retired but not yet deleted.
+    pub fn unreclaimed(&self) -> u64 {
+        self.retired_now.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`Domain::unreclaimed`].
+    pub fn max_unreclaimed(&self) -> u64 {
+        self.retired_max.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark (between benchmark phases).
+    pub fn reset_max_unreclaimed(&self) {
+        self.retired_max
+            .store(self.retired_now.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    // ---- slot management (Algorithm 6) --------------------------------
+
+    /// `getNewIdx`: claims the lowest unused slot index ≥ 1.
+    pub(crate) fn get_new_idx(&self, tid: usize) -> u16 {
+        let used = unsafe { &mut *self.tl(tid).used_haz.get() };
+        for (idx, u) in used.iter_mut().enumerate().skip(1) {
+            if *u == 0 {
+                *u = 1;
+                let mut cur = self.max_hps.load(Ordering::Relaxed);
+                while cur <= idx {
+                    match self.max_hps.compare_exchange(
+                        cur,
+                        idx + 1,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(c) => cur = c,
+                    }
+                }
+                return idx as u16;
+            }
+        }
+        panic!(
+            "orcgc: all {MAX_HPS} hazard slots of this thread are in use; \
+             too many live OrcPtr guards"
+        );
+    }
+
+    /// `usingIdx`: shares an already-claimed slot.
+    #[inline]
+    pub(crate) fn using_idx(&self, tid: usize, idx: u16) {
+        debug_assert_ne!(idx, 0);
+        let used = unsafe { &mut *self.tl(tid).used_haz.get() };
+        used[idx as usize] += 1;
+    }
+
+    #[cfg(test)]
+    pub(crate) fn used_count(&self, tid: usize, idx: u16) -> u32 {
+        unsafe { (*self.tl(tid).used_haz.get())[idx as usize] }
+    }
+
+    // ---- protection ----------------------------------------------------
+
+    /// The protect loop: publish `unmark(word)` in `hp[tid][idx]`, re-read
+    /// `addr`, repeat until stable. Sentinels (null/poison) publish 0.
+    #[inline]
+    pub(crate) fn get_protected(&self, tid: usize, idx: u16, addr: &AtomicUsize) -> usize {
+        let slot = &self.tl(tid).hp[idx as usize];
+        let mut word = addr.load(Ordering::SeqCst);
+        loop {
+            slot.swap(crate::ptr::protectable(word), Ordering::SeqCst);
+            let cur = addr.load(Ordering::SeqCst);
+            if cur == word {
+                return word;
+            }
+            word = cur;
+        }
+    }
+
+    /// Publishes an already-safe pointer (creation via `make_orc`, or
+    /// exchange results whose liveness is guaranteed by the caller).
+    #[inline]
+    pub(crate) fn publish(&self, tid: usize, idx: u16, word: usize) {
+        self.tl(tid).hp[idx as usize].swap(crate::ptr::protectable(word), Ordering::SeqCst);
+    }
+
+    // ---- clear (Algorithm 5, lines 80–90, plus handover drain) ---------
+
+    /// Releases one use of `idx`, which protects `word`. When the last use
+    /// goes away: if the object's counter is at zero, claim BRETIRED and
+    /// retire it; then free the slot and continue the retirement of
+    /// anything parked in the slot's handover entry.
+    pub(crate) fn clear(&self, tid: usize, idx: u16, word: usize) {
+        debug_assert_ne!(idx, 0);
+        let used = unsafe { &mut *self.tl(tid).used_haz.get() };
+        let u = &mut used[idx as usize];
+        debug_assert!(*u > 0);
+        *u -= 1;
+        if *u != 0 {
+            return;
+        }
+        let target = crate::ptr::protectable(word);
+        if target != 0 {
+            let h = target as *mut OrcHeader;
+            // Still protected by our slot: safe to read the orc word.
+            let lorc = unsafe { (*h).orc.load(Ordering::SeqCst) };
+            if is_zero_unclaimed(lorc)
+                && unsafe {
+                    (*h).orc
+                        .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                }
+            {
+                self.note_retired();
+                // Drop our protection before retiring so the scan does not
+                // park the object straight back onto this slot.
+                self.tl(tid).hp[idx as usize].store(0, Ordering::Release);
+                self.retire(tid, h);
+            }
+        }
+        self.tl(tid).hp[idx as usize].store(0, Ordering::Release);
+        self.drain_handover(tid, idx as usize);
+    }
+
+    /// Takes whatever is parked on `handovers[tid][idx]` and continues its
+    /// retirement (we inherit the BRETIRED claim with it).
+    #[inline]
+    pub(crate) fn drain_handover(&self, tid: usize, idx: usize) {
+        if self.tl(tid).handovers[idx].load(Ordering::SeqCst) != 0 {
+            let parked = self.tl(tid).handovers[idx].swap(0, Ordering::SeqCst);
+            if parked != 0 {
+                self.retire(tid, parked as *mut OrcHeader);
+            }
+        }
+    }
+
+    // ---- orc-counter transitions (Algorithm 4 helpers) ------------------
+
+    /// `incrementOrc`: the caller must hold protection on `h` (an OrcPtr).
+    pub(crate) fn increment_orc(&self, tid: usize, h: *mut OrcHeader) {
+        if h.is_null() {
+            return;
+        }
+        let lorc = unsafe { (*h).orc.fetch_add(SEQ + 1, Ordering::SeqCst) }.wrapping_add(SEQ + 1);
+        if !is_zero_unclaimed(lorc) {
+            return;
+        }
+        // Incremented from -1 back to zero: the link we just counted has
+        // already been removed. Try to claim the retire.
+        if unsafe {
+            (*h).orc
+                .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        } {
+            self.note_retired();
+            self.retire(tid, h);
+        }
+    }
+
+    /// `decrementOrc`: `h` may be otherwise unprotected, so it is published
+    /// in the scratch slot 0 first (Proposition 1).
+    pub(crate) fn decrement_orc(&self, tid: usize, h: *mut OrcHeader) {
+        if h.is_null() {
+            return;
+        }
+        let scratch = &self.tl(tid).hp[0];
+        scratch.swap(h as usize, Ordering::SeqCst);
+        let lorc = unsafe { (*h).orc.fetch_add(SEQ - 1, Ordering::SeqCst) }.wrapping_add(SEQ - 1);
+        if is_zero_unclaimed(lorc)
+            && unsafe {
+                (*h).orc
+                    .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            }
+        {
+            self.note_retired();
+            scratch.store(0, Ordering::Release);
+            self.retire(tid, h);
+        } else {
+            scratch.store(0, Ordering::Release);
+        }
+        // A concurrent retirer may have parked an object on our scratch
+        // slot while it was published.
+        self.drain_handover(tid, 0);
+    }
+
+    // ---- retire (Algorithm 5, lines 92–118) ------------------------------
+
+    /// Retires `h` (whose BRETIRED claim we hold): verify Lemma 1 — counter
+    /// at zero and no hazard pointer published, atomically via the
+    /// sequence — handing the object over to any protector found, then
+    /// delete. Deletion may cascade through the object's `OrcAtomic`
+    /// fields; recursion is flattened through `recursive_list`.
+    pub(crate) fn retire(&self, tid: usize, first: *mut OrcHeader) {
+        let tl = self.tl(tid);
+        let started = unsafe { &mut *tl.retire_started.get() };
+        if *started {
+            unsafe { (*tl.recursive_list.get()).push(first) };
+            return;
+        }
+        *started = true;
+        let mut h = first;
+        let mut i = 0usize;
+        loop {
+            'obj: while !h.is_null() {
+                let mut lorc = unsafe { (*h).orc.load(Ordering::SeqCst) };
+                if !is_zero_retired(lorc) {
+                    // The counter moved after the claim: relinquish and
+                    // possibly re-claim.
+                    lorc = self.clear_bit_retired(tid, h);
+                    if lorc == 0 {
+                        break 'obj;
+                    }
+                }
+                loop {
+                    if self.try_handover(&mut h) {
+                        continue 'obj;
+                    }
+                    let lorc2 = unsafe { (*h).orc.load(Ordering::SeqCst) };
+                    if lorc2 == lorc {
+                        // Lemma 1 established: delete. The value's own
+                        // OrcAtomic fields drop here, feeding
+                        // recursive_list through nested retire calls.
+                        unsafe { OrcHeader::destroy(h) };
+                        self.note_destroyed();
+                        break 'obj;
+                    }
+                    if !is_zero_retired(lorc2) {
+                        lorc = self.clear_bit_retired(tid, h);
+                        if lorc == 0 {
+                            break 'obj;
+                        }
+                    } else {
+                        lorc = lorc2;
+                    }
+                }
+            }
+            let list = unsafe { &mut *tl.recursive_list.get() };
+            if list.len() == i {
+                break;
+            }
+            h = list[i];
+            i += 1;
+        }
+        unsafe { (*tl.recursive_list.get()).clear() };
+        *started = false;
+    }
+
+    /// `tryHandover` (Algorithm 6): scan every published hazard pointer up
+    /// to the slot watermark; on a match, exchange the object into the
+    /// matching handover entry and take over whatever was parked there.
+    fn try_handover(&self, h: &mut *mut OrcHeader) -> bool {
+        let lmax = self.max_hps.load(Ordering::Acquire);
+        let wm = registry::registered_watermark();
+        let word = *h as usize;
+        for it in 0..wm {
+            let tl = self.tl(it);
+            for idx in 0..lmax {
+                if tl.hp[idx].load(Ordering::SeqCst) == word {
+                    let prev = tl.handovers[idx].swap(word, Ordering::SeqCst);
+                    *h = prev as *mut OrcHeader;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `clearBitRetired` (Algorithm 6): momentarily relinquish the claim;
+    /// if the counter is (still) at zero, re-claim and return the fresh
+    /// word; otherwise return 0 — some later transition will re-retire.
+    fn clear_bit_retired(&self, tid: usize, h: *mut OrcHeader) -> u64 {
+        let scratch = &self.tl(tid).hp[0];
+        scratch.swap(h as usize, Ordering::SeqCst);
+        let lorc = unsafe { (*h).orc.fetch_sub(BRETIRED, Ordering::SeqCst) } - BRETIRED;
+        let out = if is_zero_unclaimed(lorc)
+            && unsafe {
+                (*h).orc
+                    .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            } {
+            lorc + BRETIRED
+        } else {
+            self.note_unretired();
+            0
+        };
+        scratch.store(0, Ordering::Release);
+        self.drain_handover(tid, 0);
+        out
+    }
+
+    // ---- thread lifecycle ----------------------------------------------
+
+    /// Clears all hazard slots of `tid` and drains every handover entry.
+    /// Runs on thread exit and from [`crate::flush_thread`].
+    pub(crate) fn flush_thread_slots(&self, tid: usize) {
+        let lmax = self.max_hps.load(Ordering::Acquire);
+        for idx in 0..lmax {
+            // Only release slots not currently claimed by live OrcPtrs.
+            let in_use = unsafe { (*self.tl(tid).used_haz.get())[idx] } != 0;
+            if !in_use {
+                self.tl(tid).hp[idx].store(0, Ordering::Release);
+                self.drain_handover(tid, idx);
+            }
+        }
+    }
+}
+
+static GLOBAL: std::sync::OnceLock<Domain> = std::sync::OnceLock::new();
+
+// Per-thread flag: has this thread installed its domain exit hook?
+thread_local! {
+    static EXIT_HOOKED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The process-wide OrcGC domain.
+#[inline]
+pub fn domain() -> &'static Domain {
+    GLOBAL.get_or_init(Domain::new)
+}
+
+/// The calling thread's tid, with the domain exit hook installed.
+#[inline]
+pub(crate) fn cur_tid() -> usize {
+    let tid = registry::tid();
+    EXIT_HOOKED.with(|h| {
+        if !h.get() {
+            h.set(true);
+            registry::defer_at_exit(move || {
+                domain().flush_thread_slots(tid);
+            });
+        }
+    });
+    tid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_indices_start_at_one_and_are_reused() {
+        let d = domain();
+        let tid = cur_tid();
+        let a = d.get_new_idx(tid);
+        let b = d.get_new_idx(tid);
+        assert!(a >= 1);
+        assert_ne!(a, b);
+        d.clear(tid, a, 0);
+        let c = d.get_new_idx(tid);
+        assert_eq!(c, a, "freed slot should be reused");
+        d.clear(tid, b, 0);
+        d.clear(tid, c, 0);
+    }
+
+    #[test]
+    fn shared_slots_release_on_last_clear() {
+        let d = domain();
+        let tid = cur_tid();
+        let idx = d.get_new_idx(tid);
+        d.using_idx(tid, idx);
+        assert_eq!(d.used_count(tid, idx), 2);
+        d.clear(tid, idx, 0);
+        assert_eq!(d.used_count(tid, idx), 1);
+        d.clear(tid, idx, 0);
+        assert_eq!(d.used_count(tid, idx), 0);
+    }
+
+    #[test]
+    fn max_hps_watermark_grows() {
+        let d = domain();
+        let tid = cur_tid();
+        let mut idxs = Vec::new();
+        for _ in 0..5 {
+            idxs.push(d.get_new_idx(tid));
+        }
+        let max = *idxs.iter().max().unwrap() as usize;
+        assert!(d.max_hps.load(Ordering::SeqCst) > max);
+        for idx in idxs {
+            d.clear(tid, idx, 0);
+        }
+    }
+
+    #[test]
+    fn get_protected_publishes_unmarked() {
+        let d = domain();
+        let tid = cur_tid();
+        let h = crate::header::OrcHeader::alloc(7u32);
+        let addr = AtomicUsize::new(orc_util::marked::mark(h as usize));
+        let idx = d.get_new_idx(tid);
+        let word = d.get_protected(tid, idx, &addr);
+        assert!(orc_util::marked::is_marked(word));
+        assert_eq!(
+            d.tl(tid).hp[idx as usize].load(Ordering::SeqCst),
+            h as usize
+        );
+        // Clearing with counter at zero claims BRETIRED and deletes (no
+        // other protector).
+        d.clear(tid, idx, word);
+        assert_eq!(d.tl(tid).hp[idx as usize].load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! The tracked-object header (`orc_base`) and allocation layout.
+//!
+//! The paper requires every shared object type to extend `orc_base`, which
+//! holds the `_orc` word. Rust has no inheritance, so [`make_orc`]
+//! allocates objects as `#[repr(C)] Linked<T> { header: OrcHeader, value: T }`
+//! and every internal pointer (hazard slots, handover slots, link words) is
+//! a `*mut OrcHeader` pointing at the start of the `Linked<T>` block. The
+//! header additionally stores the type-erased destructor (the C++ version
+//! gets this from `orc_base`'s vtable) and the allocation size for memory
+//! accounting.
+//!
+//! [`make_orc`]: crate::make_orc
+
+use crate::word::ORC_INIT;
+use std::sync::atomic::AtomicU64;
+
+/// Per-object metadata; the paper's `orc_base`.
+#[repr(C)]
+pub struct OrcHeader {
+    /// The `_orc` word: biased hard-link counter + BRETIRED + sequence.
+    pub(crate) orc: AtomicU64,
+    /// Type-erased destructor: drops the whole `Linked<T>` box.
+    pub(crate) drop_fn: unsafe fn(*mut OrcHeader),
+    /// Allocation size in bytes.
+    pub(crate) bytes: u32,
+}
+
+/// Allocation layout of every tracked object.
+#[repr(C)]
+pub struct Linked<T> {
+    pub(crate) header: OrcHeader,
+    pub(crate) value: T,
+}
+
+unsafe fn drop_linked<T>(h: *mut OrcHeader) {
+    drop(unsafe { Box::from_raw(h as *mut Linked<T>) });
+}
+
+impl OrcHeader {
+    /// Allocates `value` behind a fresh header with `_orc = ORC_INIT`.
+    /// Returns the erased header pointer (== the `Linked<T>` pointer).
+    pub(crate) fn alloc<T>(value: T) -> *mut OrcHeader {
+        let boxed = Box::new(Linked {
+            header: OrcHeader {
+                orc: AtomicU64::new(ORC_INIT),
+                drop_fn: drop_linked::<T>,
+                bytes: std::mem::size_of::<Linked<T>>() as u32,
+            },
+            value,
+        });
+        Box::into_raw(boxed) as *mut OrcHeader
+    }
+
+    /// Runs the destructor and frees the block.
+    ///
+    /// # Safety
+    /// `h` must be live and unreachable (Lemma 1 established).
+    pub(crate) unsafe fn destroy(h: *mut OrcHeader) {
+        let bytes = unsafe { (*h).bytes } as usize;
+        let f = unsafe { (*h).drop_fn };
+        unsafe { f(h) };
+        orc_util::track::global().on_free(bytes);
+    }
+
+    /// The value behind a header pointer.
+    ///
+    /// # Safety
+    /// `h` must be a live `Linked<T>` for this exact `T`.
+    #[inline(always)]
+    pub(crate) unsafe fn value<'a, T>(h: *mut OrcHeader) -> &'a T {
+        unsafe { &(*(h as *mut Linked<T>)).value }
+    }
+
+    /// Raw access to the `_orc` word (tests / diagnostics).
+    pub fn orc_word(&self) -> u64 {
+        self.orc.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn alloc_initializes_orc() {
+        let h = OrcHeader::alloc(42u64);
+        unsafe {
+            assert!(word::is_zero_unclaimed((*h).orc.load(Ordering::SeqCst)));
+            assert_eq!(*OrcHeader::value::<u64>(h), 42);
+            OrcHeader::destroy(h);
+        }
+    }
+
+    #[test]
+    fn destroy_runs_value_destructor() {
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let n = Arc::new(AtomicUsize::new(0));
+        let h = OrcHeader::alloc(Probe(n.clone()));
+        assert_eq!(n.load(Ordering::SeqCst), 0);
+        unsafe { OrcHeader::destroy(h) };
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn header_is_at_offset_zero() {
+        // The erased header pointer must coincide with the Linked<T>
+        // pointer for every T (repr(C) guarantees it; this guards
+        // against accidental layout changes).
+        assert_eq!(std::mem::offset_of!(Linked<u8>, header), 0);
+        assert_eq!(std::mem::offset_of!(Linked<[u64; 7]>, header), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared low-level utilities for the OrcGC reproduction.
+//!
+//! This crate hosts the substrate pieces every reclamation scheme and data
+//! structure in the workspace relies on:
+//!
+//! * [`registry`] — a process-wide, lock-free thread registry that hands out
+//!   dense thread ids (`tid`s) so schemes can index per-thread hazard arrays,
+//!   and runs per-thread cleanup callbacks when a thread exits.
+//! * [`marked`] — Harris-style marked-pointer helpers (tag bits in the low
+//!   bits of aligned pointers).
+//! * [`dwcas`] — a double-word (128-bit) atomic built on `cmpxchg16b`, needed
+//!   by pass-the-buck and LCRQ.
+//! * [`track`] — global allocation accounting used by the leak tests and the
+//!   memory-usage experiments.
+//! * [`rng`] — a tiny xorshift generator for hot paths (skip-list levels,
+//!   workload key streams) where seeding a full `rand` generator would be
+//!   overkill.
+
+pub mod dwcas;
+pub mod marked;
+pub mod registry;
+pub mod rng;
+pub mod track;
+
+pub use crossbeam_utils::Backoff;
+pub use crossbeam_utils::CachePadded;

@@ -1,0 +1,123 @@
+//! Harris-style marked pointers.
+//!
+//! Lock-free lists, trees and skip lists steal the low bits of aligned node
+//! pointers to encode logical-deletion marks (Harris 2001) and edge flags
+//! (Natarajan–Mittal 2014). All tracked nodes in this workspace are at least
+//! 8-byte aligned, so the low three bits are available; we use up to two.
+//!
+//! Everything here operates on `usize` words so the same helpers serve raw
+//! `AtomicUsize` links in the manual-scheme structures and the `OrcAtomic`
+//! words in the OrcGC-annotated structures.
+
+/// Logical-deletion mark (Harris lists, skip lists; NM-tree "flag").
+pub const MARK: usize = 0b01;
+/// Secondary tag (NM-tree "tag").
+pub const TAG: usize = 0b10;
+/// All tag bits that may be set on a link word.
+pub const TAG_MASK: usize = 0b11;
+
+/// Strips all tag bits, yielding the raw pointer value.
+#[inline(always)]
+pub const fn unmark(word: usize) -> usize {
+    word & !TAG_MASK
+}
+
+/// Sets the deletion mark.
+#[inline(always)]
+pub const fn mark(word: usize) -> usize {
+    word | MARK
+}
+
+/// True if the deletion mark is set.
+#[inline(always)]
+pub const fn is_marked(word: usize) -> bool {
+    word & MARK != 0
+}
+
+/// Sets the secondary tag bit.
+#[inline(always)]
+pub const fn tag(word: usize) -> usize {
+    word | TAG
+}
+
+/// True if the secondary tag bit is set.
+#[inline(always)]
+pub const fn is_tagged(word: usize) -> bool {
+    word & TAG != 0
+}
+
+/// Returns just the tag bits of a word.
+#[inline(always)]
+pub const fn tag_bits(word: usize) -> usize {
+    word & TAG_MASK
+}
+
+/// Re-applies `bits` (a combination of [`MARK`]/[`TAG`]) to a clean word.
+#[inline(always)]
+pub const fn with_tag(word: usize, bits: usize) -> usize {
+    (word & !TAG_MASK) | (bits & TAG_MASK)
+}
+
+/// Converts a typed pointer to a clean link word.
+#[inline(always)]
+pub fn to_word<T>(ptr: *mut T) -> usize {
+    debug_assert_eq!(ptr as usize & TAG_MASK, 0, "pointer is not 4-byte aligned");
+    ptr as usize
+}
+
+/// Converts a (possibly marked) link word back to a typed pointer,
+/// stripping tag bits.
+#[inline(always)]
+pub const fn to_ptr<T>(word: usize) -> *mut T {
+    unmark(word) as *mut T
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_roundtrip() {
+        let p = 0xdead_beef_usize & !TAG_MASK;
+        assert!(!is_marked(p));
+        assert!(is_marked(mark(p)));
+        assert_eq!(unmark(mark(p)), p);
+        assert_eq!(unmark(p), p);
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let p = 0x1000_usize;
+        assert!(!is_tagged(p));
+        assert!(is_tagged(tag(p)));
+        assert!(!is_marked(tag(p)));
+        assert_eq!(unmark(tag(mark(p))), p);
+        assert_eq!(tag_bits(tag(mark(p))), MARK | TAG);
+    }
+
+    #[test]
+    fn with_tag_replaces_bits() {
+        let p = 0x2000_usize;
+        assert_eq!(with_tag(mark(p), TAG), p | TAG);
+        assert_eq!(with_tag(p, 0), p);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let b = Box::into_raw(Box::new(42u64));
+        let w = mark(to_word(b));
+        let back: *mut u64 = to_ptr(w);
+        assert_eq!(back, b);
+        unsafe { drop(Box::from_raw(b)) };
+    }
+
+    #[test]
+    fn null_is_unmarked() {
+        assert!(!is_marked(to_word::<u8>(std::ptr::null_mut())));
+        assert!(to_ptr::<u8>(0).is_null());
+        // A marked null is still "null" after unmarking — lists mark the
+        // next pointer of tail candidates that point at null.
+        assert!(to_ptr::<u8>(mark(0)).is_null());
+        assert!(is_marked(mark(0)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal xorshift64* generator for hot paths.
+//!
+//! Skip-list level selection and benchmark key streams sit on the critical
+//! path of every operation; a three-shift xorshift with a multiplicative
+//! finalizer is statistically adequate for both and costs a handful of
+//! cycles. Workload *configuration* (zipf tables, shuffled key sets) uses
+//! the full `rand` crate instead.
+
+/// xorshift64* PRNG. Deterministic for a given seed; not cryptographic.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator; a zero seed is remapped to a fixed odd constant
+    /// (xorshift has a zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Seeds from the thread id and a stream index so concurrent workers
+    /// draw independent streams.
+    pub fn for_thread(tid: usize, stream: u64) -> Self {
+        Self::new((tid as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F) ^ stream)
+    }
+
+    #[inline(always)]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)` via the widening-multiply trick
+    /// (Lemire); avoids the modulo bias and the division.
+    #[inline(always)]
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Bernoulli trial with probability `permille/1000`.
+    #[inline(always)]
+    pub fn chance_permille(&mut self, permille: u64) -> bool {
+        self.next_bounded(1000) < permille
+    }
+
+    /// Geometric skip-list level in `[0, max_level)`: number of consecutive
+    /// coin-flip successes (p = 1/2 per level), capped.
+    #[inline(always)]
+    pub fn level_p50(&mut self, max_level: usize) -> usize {
+        (self.next_u64().trailing_ones() as usize).min(max_level - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        let mut r = XorShift64::new(42);
+        for _ in 0..10_000 {
+            assert!(r.next_bounded(17) < 17);
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut r = XorShift64::new(9);
+        let mut buckets = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            buckets[r.next_bounded(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            let expected = n / 8;
+            assert!(
+                (b as i64 - expected as i64).unsigned_abs() < expected as u64 / 5,
+                "bucket count {b} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn levels_are_geometric() {
+        let mut r = XorShift64::new(3);
+        let n = 100_000;
+        let mut level0 = 0;
+        let mut over = 0;
+        for _ in 0..n {
+            let l = r.level_p50(16);
+            assert!(l < 16);
+            if l == 0 {
+                level0 += 1;
+            }
+            if l >= 8 {
+                over += 1;
+            }
+        }
+        // ~50% at level 0, ~0.4% at level >= 8.
+        assert!((level0 as f64 / n as f64 - 0.5).abs() < 0.02);
+        assert!((over as f64 / n as f64) < 0.01);
+    }
+
+    #[test]
+    fn thread_streams_are_independent() {
+        let mut a = XorShift64::for_thread(0, 0);
+        let mut b = XorShift64::for_thread(1, 0);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,336 @@
+//! Epoch-based reclamation (Fraser 2004; RCU-style).
+//!
+//! The quiescence baseline: a global epoch advances only when every pinned
+//! thread has observed the current value; objects retired in epoch `e` are
+//! freed once the epoch reaches `e + 2`. Reads need no per-pointer
+//! publication (`protect` is a plain load), which makes EBR the fastest
+//! scheme on read paths — but a single stalled reader halts reclamation
+//! entirely, so the unreclaimed bound is **unbounded** (Table 1 lists EBR
+//! as *blocking*, the reason it cannot give lock-free structures lock-free
+//! reclamation).
+
+use crate::hazard::{ExitHooks, OrphanStack, PerThread};
+use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
+use crate::Smr;
+use orc_util::{registry, track, CachePadded};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Retires between advance attempts.
+const ADVANCE_FREQ: usize = 64;
+
+#[derive(Default)]
+struct ThreadState {
+    /// Three limbo bins, indexed by `epoch % 3`.
+    limbo: [Vec<*mut SmrHeader>; 3],
+    retires: usize,
+}
+
+unsafe impl Send for ThreadState {}
+
+struct Inner {
+    global_epoch: AtomicU64,
+    /// `local[tid]`: 0 when unpinned, else the epoch the thread is pinned
+    /// at.
+    local: Box<[CachePadded<AtomicU64>]>,
+    threads: PerThread<ThreadState>,
+    orphans: OrphanStack,
+    hooks: ExitHooks,
+    unreclaimed: AtomicUsize,
+}
+
+/// Epoch-based reclamation.
+pub struct Ebr {
+    inner: Arc<Inner>,
+}
+
+impl Ebr {
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                // Start at 3 so epoch-2 arithmetic never underflows and 0
+                // can mean "unpinned".
+                global_epoch: AtomicU64::new(3),
+                local: (0..registry::max_threads())
+                    .map(|_| CachePadded::new(AtomicU64::new(0)))
+                    .collect(),
+                threads: PerThread::new(),
+                orphans: OrphanStack::new(),
+                hooks: ExitHooks::new(),
+                unreclaimed: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    #[inline]
+    fn attach(&self) -> usize {
+        let tid = registry::tid();
+        if self.inner.hooks.attach(tid) {
+            // Hold only a Weak reference: the hook must not keep the
+            // scheme alive after its last user drops it (Inner::drop then
+            // reclaims everything, which is strictly better).
+            let inner = Arc::downgrade(&self.inner);
+            registry::defer_at_exit(move || {
+                if let Some(inner) = inner.upgrade() {
+                    inner.thread_exit(tid);
+                }
+            });
+        }
+        tid
+    }
+
+    /// The epoch this instance is currently at (diagnostics).
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.global_epoch.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for Ebr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Ebr {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Inner {
+    /// Advances the global epoch if every pinned thread has caught up;
+    /// returns the (possibly new) epoch.
+    fn try_advance(&self) -> u64 {
+        let e = self.global_epoch.load(Ordering::SeqCst);
+        let wm = registry::registered_watermark();
+        for t in 0..wm {
+            let le = self.local[t].load(Ordering::SeqCst);
+            if le != 0 && le != e {
+                return e; // straggler: cannot advance
+            }
+        }
+        // Multiple threads may race; at most one increment wins per epoch.
+        let _ = self
+            .global_epoch
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+        self.global_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Frees the limbo bin that is two epochs stale.
+    fn collect(&self, tid: usize, epoch: u64) {
+        let st = unsafe { self.threads.get_mut(tid) };
+        // Adopt orphans into the *current* bin: we don't know their retire
+        // epoch, so conservatively treat them as retired now (they wait the
+        // full two advances before being freed).
+        for h in self.orphans.drain() {
+            st.limbo[(epoch % 3) as usize].push(h);
+        }
+        let stale = &mut st.limbo[((epoch + 1) % 3) as usize];
+        // Bin (e+1)%3 == (e-2)%3 holds objects retired at e-2: all threads
+        // have since passed through at least one quiescent transition.
+        let n = stale.len();
+        for h in stale.drain(..) {
+            unsafe { destroy_tracked(h) };
+            track::global().on_reclaim();
+        }
+        self.unreclaimed.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    fn thread_exit(&self, tid: usize) {
+        self.local[tid].store(0, Ordering::SeqCst);
+        let st = unsafe { self.threads.get_mut(tid) };
+        for bin in &mut st.limbo {
+            for h in bin.drain(..) {
+                unsafe { self.orphans.push(h) };
+            }
+        }
+        self.hooks.reset(tid);
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        for tid in 0..self.threads.len() {
+            let st = unsafe { self.threads.get_mut(tid) };
+            for bin in &mut st.limbo {
+                for h in bin.drain(..) {
+                    unsafe { destroy_tracked(h) };
+                    track::global().on_reclaim();
+                }
+            }
+        }
+        for h in self.orphans.drain() {
+            unsafe { destroy_tracked(h) };
+            track::global().on_reclaim();
+        }
+    }
+}
+
+impl Smr for Ebr {
+    fn name(&self) -> &'static str {
+        "EBR"
+    }
+
+    fn alloc<T: Send>(&self, value: T) -> *mut T {
+        alloc_tracked(value, 0)
+    }
+
+    /// Pin: publish the current global epoch (with a full fence, via swap).
+    fn begin_op(&self) {
+        let tid = self.attach();
+        let e = self.inner.global_epoch.load(Ordering::SeqCst);
+        self.inner.local[tid].swap(e, Ordering::SeqCst);
+    }
+
+    /// Unpin.
+    fn end_op(&self) {
+        let tid = self.attach();
+        self.inner.local[tid].store(0, Ordering::Release);
+    }
+
+    /// No per-pointer publication: epoch pinning already protects every
+    /// object reachable during the operation.
+    #[inline]
+    fn protect(&self, _idx: usize, addr: &AtomicUsize) -> usize {
+        addr.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn publish(&self, _idx: usize, _word: usize) {}
+
+    #[inline]
+    fn clear(&self, _idx: usize) {}
+
+    unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        let tid = self.attach();
+        let h = unsafe { SmrHeader::of_value(ptr) };
+        self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed);
+        track::global().on_retire();
+        let e = self.inner.global_epoch.load(Ordering::SeqCst);
+        let st = unsafe { self.inner.threads.get_mut(tid) };
+        st.limbo[(e % 3) as usize].push(h);
+        st.retires += 1;
+        if st.retires >= ADVANCE_FREQ {
+            st.retires = 0;
+            let e = self.inner.try_advance();
+            self.inner.collect(tid, e);
+        }
+    }
+
+    fn flush(&self) {
+        let tid = self.attach();
+        // Unpinned flush can advance up to three times, emptying all bins
+        // if no other thread is pinned behind.
+        for _ in 0..3 {
+            let e = self.inner.try_advance();
+            self.inner.collect(tid, e);
+        }
+    }
+
+    fn unreclaimed(&self) -> usize {
+        self.inner.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    /// EBR's retire is blocking: a stalled pinned thread stops reclamation.
+    fn is_lock_free(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicPtr;
+
+    #[test]
+    fn retire_then_flush_reclaims_when_quiescent() {
+        let ebr = Ebr::new();
+        for i in 0..10 {
+            let p = ebr.alloc(i as u64);
+            unsafe { ebr.retire(p) };
+        }
+        assert!(ebr.unreclaimed() > 0);
+        ebr.flush();
+        assert_eq!(ebr.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn pinned_straggler_blocks_reclamation() {
+        let ebr = Ebr::new();
+        let ebr2 = ebr.clone();
+        let (pinned_tx, pinned_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let t = std::thread::spawn(move || {
+            ebr2.begin_op(); // pin and stall
+            pinned_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+            ebr2.end_op();
+        });
+        pinned_rx.recv().unwrap();
+        let p = ebr.alloc(1u64);
+        unsafe { ebr.retire(p) };
+        ebr.flush();
+        assert_eq!(
+            ebr.unreclaimed(),
+            1,
+            "stalled pinned reader must block epoch advance"
+        );
+        release_tx.send(()).unwrap();
+        t.join().unwrap();
+        ebr.flush();
+        assert_eq!(ebr.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn objects_survive_while_reader_pinned_in_same_epoch() {
+        let ebr = Ebr::new();
+        ebr.begin_op();
+        let p = ebr.alloc(5u64);
+        let addr = AtomicPtr::new(p);
+        let got = ebr.protect_ptr(0, &addr);
+        unsafe { ebr.retire(got) };
+        // We are pinned; even aggressive flushing from this thread cannot
+        // free the object out from under us... but flush from the same
+        // thread while pinned would deadlock semantics — EBR contract says
+        // retire defers. Simply check the object is still readable.
+        assert_eq!(unsafe { *got }, 5);
+        ebr.end_op();
+        ebr.flush();
+        assert_eq!(ebr.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn concurrent_stress() {
+        let ebr = Arc::new(Ebr::new());
+        let addr = Arc::new(AtomicPtr::new(ebr.alloc(0u64)));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ebr = ebr.clone();
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    for i in 0..4_000u64 {
+                        ebr.begin_op();
+                        if t % 2 == 0 {
+                            let n = ebr.alloc(i);
+                            let old = addr.swap(n, Ordering::SeqCst);
+                            unsafe { ebr.retire(old) };
+                        } else {
+                            let p = ebr.protect_ptr(0, &addr);
+                            assert!(unsafe { *p } < 4_000);
+                        }
+                        ebr.end_op();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let last = addr.load(Ordering::SeqCst);
+        unsafe { ebr.retire(last) };
+        ebr.flush();
+        assert_eq!(ebr.unreclaimed(), 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Hazard eras (Ramalhete & Correia 2017).
+//!
+//! Replaces per-pointer publication with per-*era* reservation: a global
+//! era clock stamps each object's birth (at `alloc`) and death (at
+//! `retire`). `protect` publishes the current era in a reservation slot —
+//! skipping the store entirely when the era has not advanced, which is the
+//! scheme's performance advantage over HP. An object can be freed once no
+//! reservation falls inside its `[birth_era, del_era]` lifetime interval.
+//!
+//! The cost is memory: every reservation protects *all* objects alive in
+//! that era, so the unreclaimed bound grows to `O(#L·H·t²)` (Table 1), and
+//! each object carries two extra words (birth/del era) — which our common
+//! [`SmrHeader`] already provides.
+
+use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
+use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
+use crate::{Smr, MAX_HPS};
+use orc_util::{registry, track};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How many retires between era-clock increments (the original paper's
+/// "epoch frequency").
+const ERA_FREQ: usize = 64;
+
+#[derive(Default)]
+struct ThreadState {
+    retired: Vec<*mut SmrHeader>,
+    retires_since_bump: usize,
+    scratch: Vec<u64>,
+}
+
+unsafe impl Send for ThreadState {}
+
+struct Inner {
+    era_clock: AtomicU64,
+    /// Reservation slots hold era values (0 = none), reusing the word-sized
+    /// slot array (usize == u64 on the supported 64-bit targets).
+    reservations: SlotArray,
+    threads: PerThread<ThreadState>,
+    orphans: OrphanStack,
+    hooks: ExitHooks,
+    unreclaimed: AtomicUsize,
+    threshold_base: usize,
+}
+
+/// Hazard-eras reclamation (SPAA 2017 brief announcement).
+pub struct HazardEras {
+    inner: Arc<Inner>,
+}
+
+impl HazardEras {
+    pub fn new() -> Self {
+        Self::with_threshold(0)
+    }
+
+    pub fn with_threshold(threshold_base: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                era_clock: AtomicU64::new(1),
+                reservations: SlotArray::new(),
+                threads: PerThread::new(),
+                orphans: OrphanStack::new(),
+                hooks: ExitHooks::new(),
+                unreclaimed: AtomicUsize::new(0),
+                threshold_base,
+            }),
+        }
+    }
+
+    #[inline]
+    fn attach(&self) -> usize {
+        let tid = registry::tid();
+        if self.inner.hooks.attach(tid) {
+            // Hold only a Weak reference: the hook must not keep the
+            // scheme alive after its last user drops it (Inner::drop then
+            // reclaims everything, which is strictly better).
+            let inner = Arc::downgrade(&self.inner);
+            registry::defer_at_exit(move || {
+                if let Some(inner) = inner.upgrade() {
+                    inner.thread_exit(tid);
+                }
+            });
+        }
+        tid
+    }
+
+    /// Current era-clock value (exposed for the primitive-cost benches).
+    pub fn current_era(&self) -> u64 {
+        self.inner.era_clock.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for HazardEras {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for HazardEras {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Inner {
+    fn threshold(&self) -> usize {
+        if self.threshold_base != 0 {
+            self.threshold_base
+        } else {
+            2 * MAX_HPS * registry::registered_watermark() + 8
+        }
+    }
+
+    fn scan(&self, tid: usize) {
+        let st = unsafe { self.threads.get_mut(tid) };
+        for h in self.orphans.drain() {
+            st.retired.push(h);
+        }
+        let ThreadState {
+            retired, scratch, ..
+        } = st;
+        // Collect active era reservations.
+        scratch.clear();
+        let wm = registry::registered_watermark();
+        for it in 0..wm {
+            for idx in 0..MAX_HPS {
+                let e = self.reservations.get(it, idx).load(Ordering::SeqCst) as u64;
+                if e != 0 {
+                    scratch.push(e);
+                }
+            }
+        }
+        scratch.sort_unstable();
+        let mut kept = Vec::with_capacity(retired.len());
+        for &h in retired.iter() {
+            let birth = unsafe { (*h).birth_era };
+            let del = unsafe { (*h).del_era.load(Ordering::Relaxed) };
+            // Freed iff no reservation e with birth <= e <= del.
+            let lo = scratch.partition_point(|&e| e < birth);
+            let covered = scratch.get(lo).is_some_and(|&e| e <= del);
+            if covered {
+                kept.push(h);
+            } else {
+                unsafe { destroy_tracked(h) };
+                self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
+                track::global().on_reclaim();
+            }
+        }
+        *retired = kept;
+    }
+
+    fn thread_exit(&self, tid: usize) {
+        self.reservations.clear_row(tid);
+        self.scan(tid);
+        let st = unsafe { self.threads.get_mut(tid) };
+        for h in st.retired.drain(..) {
+            unsafe { self.orphans.push(h) };
+        }
+        self.hooks.reset(tid);
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        for tid in 0..self.threads.len() {
+            let st = unsafe { self.threads.get_mut(tid) };
+            for h in st.retired.drain(..) {
+                unsafe { destroy_tracked(h) };
+                track::global().on_reclaim();
+            }
+        }
+        for h in self.orphans.drain() {
+            unsafe { destroy_tracked(h) };
+            track::global().on_reclaim();
+        }
+    }
+}
+
+impl Smr for HazardEras {
+    fn name(&self) -> &'static str {
+        "HE"
+    }
+
+    fn alloc<T: Send>(&self, value: T) -> *mut T {
+        let era = self.inner.era_clock.load(Ordering::SeqCst);
+        alloc_tracked(value, era)
+    }
+
+    fn end_op(&self) {
+        let tid = self.attach();
+        self.inner.reservations.clear_row(tid);
+    }
+
+    /// The HE protect loop: publish the current era (not the pointer) and
+    /// re-read until the era is stable across the load.
+    #[inline]
+    fn protect(&self, idx: usize, addr: &AtomicUsize) -> usize {
+        let tid = self.attach();
+        let res = self.inner.reservations.get(tid, idx);
+        let mut prev = res.load(Ordering::Relaxed) as u64;
+        loop {
+            let word = addr.load(Ordering::SeqCst);
+            let era = self.inner.era_clock.load(Ordering::SeqCst);
+            if era == prev {
+                return word;
+            }
+            res.swap(era as usize, Ordering::SeqCst);
+            prev = era;
+        }
+    }
+
+    #[inline]
+    fn publish(&self, idx: usize, _word: usize) {
+        // Reserving the current era protects every object alive now,
+        // including the one being republished.
+        let tid = self.attach();
+        let era = self.inner.era_clock.load(Ordering::SeqCst);
+        self.inner
+            .reservations
+            .get(tid, idx)
+            .swap(era as usize, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn clear(&self, idx: usize) {
+        let tid = self.attach();
+        self.inner.reservations.clear(tid, idx);
+    }
+
+    unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        let tid = self.attach();
+        let h = unsafe { SmrHeader::of_value(ptr) };
+        let era = self.inner.era_clock.load(Ordering::SeqCst);
+        unsafe { (*h).del_era.store(era, Ordering::Relaxed) };
+        self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed);
+        track::global().on_retire();
+        let st = unsafe { self.inner.threads.get_mut(tid) };
+        st.retired.push(h);
+        st.retires_since_bump += 1;
+        if st.retires_since_bump >= ERA_FREQ {
+            st.retires_since_bump = 0;
+            self.inner.era_clock.fetch_add(1, Ordering::SeqCst);
+        }
+        if st.retired.len() >= self.inner.threshold() {
+            self.inner.scan(tid);
+        }
+    }
+
+    fn flush(&self) {
+        let tid = self.attach();
+        self.inner.era_clock.fetch_add(1, Ordering::SeqCst);
+        self.inner.scan(tid);
+    }
+
+    fn unreclaimed(&self) -> usize {
+        self.inner.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    fn is_lock_free(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicPtr;
+
+    #[test]
+    fn object_lifetime_interval_is_respected() {
+        let he = HazardEras::with_threshold(1);
+        let p = he.alloc(1u64);
+        let addr = AtomicPtr::new(p);
+        let got = he.protect_ptr(0, &addr);
+        assert_eq!(got, p);
+        unsafe { he.retire(p) };
+        // Our reservation covers [birth, del]: must not be freed.
+        he.flush();
+        assert_eq!(he.unreclaimed(), 1);
+        assert_eq!(unsafe { *p }, 1);
+        he.end_op();
+        he.flush();
+        assert_eq!(he.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn old_reservation_does_not_protect_newer_objects() {
+        let he = HazardEras::with_threshold(1);
+        // Reserve the current era first.
+        let dummy = he.alloc(0u64);
+        let daddr = AtomicPtr::new(dummy);
+        he.protect_ptr(0, &daddr);
+        // Advance the clock well past our reservation, then allocate:
+        // the new object's birth era exceeds our reserved era.
+        for _ in 0..4 {
+            he.inner.era_clock.fetch_add(1, Ordering::SeqCst);
+        }
+        let newer = he.alloc(9u64);
+        unsafe { he.retire(newer) };
+        he.flush();
+        // `newer` was born after our reservation; it must be freed even
+        // though slot 0 still holds an (older) era.
+        assert_eq!(he.unreclaimed(), 0);
+        he.end_op();
+        unsafe { he.retire(dummy) };
+        he.flush();
+        assert_eq!(he.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn protect_skips_store_when_era_unchanged() {
+        let he = HazardEras::new();
+        let p = he.alloc(3u64);
+        let addr = AtomicPtr::new(p);
+        he.protect_ptr(0, &addr);
+        let reserved = he
+            .inner
+            .reservations
+            .get(registry::tid(), 0)
+            .load(Ordering::SeqCst);
+        // Second protect with an unchanged clock must leave the same
+        // reservation in place (fast path).
+        he.protect_ptr(0, &addr);
+        assert_eq!(
+            he.inner
+                .reservations
+                .get(registry::tid(), 0)
+                .load(Ordering::SeqCst),
+            reserved
+        );
+        he.end_op();
+        unsafe { he.retire(p) };
+        he.flush();
+        assert_eq!(he.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn concurrent_stress_no_use_after_free() {
+        let he = Arc::new(HazardEras::new());
+        let addr = Arc::new(AtomicPtr::new(he.alloc(0u64)));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let he = he.clone();
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    for i in 0..4_000u64 {
+                        if t % 2 == 0 {
+                            let n = he.alloc(i);
+                            let old = addr.swap(n, Ordering::SeqCst);
+                            unsafe { he.retire(old) };
+                        } else {
+                            let p = he.protect_ptr(0, &addr);
+                            assert!(unsafe { *p } < 4_000);
+                            he.end_op();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let last = addr.load(Ordering::SeqCst);
+        unsafe { he.retire(last) };
+        he.flush();
+        assert_eq!(he.unreclaimed(), 0);
+    }
+}

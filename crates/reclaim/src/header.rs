@@ -1,0 +1,201 @@
+//! Tracked-object layout shared by all manual schemes.
+//!
+//! Every node allocated through a scheme is laid out as
+//! `SmrBox<T> { header: SmrHeader, value: T }` (`#[repr(C)]`, header first).
+//! Data structures only ever see `*mut T` — the *value pointer* — while the
+//! schemes' retired lists, handover slots and orphan chains carry *header
+//! pointers*. The header records how to get back and forth (`value_offset`)
+//! and how to destroy the object without knowing its type (`drop_fn`), plus
+//! the birth/delete eras used by hazard eras.
+//!
+//! Hazard *slots*, by contrast, always hold value pointers, because that is
+//! what data structures read from their links and publish.
+
+use std::mem;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize};
+
+/// Era value meaning "no reservation" / "not yet deleted".
+pub const NO_ERA: u64 = 0;
+
+/// Header prepended to every tracked object.
+#[repr(C)]
+pub struct SmrHeader {
+    /// Era clock value at allocation (hazard eras). Unused by HP/PTB/PTP.
+    pub birth_era: u64,
+    /// Era clock value at retirement (hazard eras). `NO_ERA` while live.
+    pub del_era: AtomicU64,
+    /// Intrusive link for retired lists / orphan chains.
+    pub next: AtomicPtr<SmrHeader>,
+    /// Type-erased destructor: reconstructs the `Box<SmrBox<T>>` and drops it.
+    drop_fn: unsafe fn(*mut SmrHeader),
+    /// Offset from the header to the value, in bytes.
+    value_offset: u32,
+    /// Total allocation size in bytes (for memory accounting).
+    pub bytes: u32,
+}
+
+#[repr(C)]
+pub struct SmrBox<T> {
+    pub header: SmrHeader,
+    pub value: T,
+}
+
+unsafe fn drop_box<T>(h: *mut SmrHeader) {
+    drop(unsafe { Box::from_raw(h as *mut SmrBox<T>) });
+}
+
+impl SmrHeader {
+    /// Heap-allocates `value` behind a header; returns the value pointer.
+    pub fn alloc<T>(value: T, birth_era: u64) -> *mut T {
+        let boxed: Box<SmrBox<T>> = Box::new(SmrBox {
+            header: SmrHeader {
+                birth_era,
+                del_era: AtomicU64::new(NO_ERA),
+                next: AtomicPtr::new(std::ptr::null_mut()),
+                drop_fn: drop_box::<T>,
+                value_offset: mem::offset_of!(SmrBox<T>, value) as u32,
+                bytes: mem::size_of::<SmrBox<T>>() as u32,
+            },
+            value,
+        });
+        let raw = Box::into_raw(boxed);
+        unsafe { &raw mut (*raw).value }
+    }
+
+    /// Recovers the header pointer from a value pointer.
+    ///
+    /// # Safety
+    /// `value` must have been returned by [`SmrHeader::alloc::<T>`] and not
+    /// yet destroyed.
+    #[inline]
+    pub unsafe fn of_value<T>(value: *mut T) -> *mut SmrHeader {
+        unsafe { (value as *mut u8).sub(mem::offset_of!(SmrBox<T>, value)) as *mut SmrHeader }
+    }
+
+    /// The value pointer of this object, as the word data structures publish
+    /// in hazard slots.
+    ///
+    /// # Safety
+    /// `h` must be a live header.
+    #[inline]
+    pub unsafe fn value_word(h: *mut SmrHeader) -> usize {
+        let off = unsafe { (*h).value_offset } as usize;
+        h as usize + off
+    }
+
+    /// Runs the destructor and frees the allocation.
+    ///
+    /// # Safety
+    /// `h` must be a live header no longer reachable by any thread.
+    #[inline]
+    pub unsafe fn destroy(h: *mut SmrHeader) {
+        // Double-free tripwire: a destroyed header's del_era is stamped
+        // with a magic value. Catching this *before* the allocator's
+        // metadata is corrupted turns heisencrashes into clean aborts.
+        let prev =
+            unsafe { &(*h).del_era }.swap(u64::MAX - 0xDEAD, std::sync::atomic::Ordering::SeqCst);
+        assert_ne!(
+            prev,
+            u64::MAX - 0xDEAD,
+            "double free of tracked object {h:p}"
+        );
+        let f = unsafe { (*h).drop_fn };
+        unsafe { f(h) };
+    }
+}
+
+/// Allocates through [`SmrHeader::alloc`] and records the allocation in the
+/// global memory accounting ([`orc_util::track`]).
+pub fn alloc_tracked<T>(value: T, birth_era: u64) -> *mut T {
+    let p = SmrHeader::alloc(value, birth_era);
+    orc_util::track::global().on_alloc(mem::size_of::<SmrBox<T>>());
+    p
+}
+
+/// Destroys a header-carrying object and records the free.
+///
+/// # Safety
+/// Same contract as [`SmrHeader::destroy`].
+pub unsafe fn destroy_tracked(h: *mut SmrHeader) {
+    let bytes = unsafe { (*h).bytes } as usize;
+    unsafe { SmrHeader::destroy(h) };
+    orc_util::track::global().on_free(bytes);
+}
+
+/// Views an `AtomicPtr<T>` as the `AtomicUsize` word the schemes operate on.
+/// Sound because the two types have identical size, alignment and atomic
+/// representation.
+#[inline]
+pub fn as_word<T>(addr: &AtomicPtr<T>) -> &AtomicUsize {
+    unsafe { &*(addr as *const AtomicPtr<T> as *const AtomicUsize) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    struct DropProbe(Arc<std::sync::atomic::AtomicUsize>);
+    impl Drop for DropProbe {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn alloc_roundtrip_and_destroy() {
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let p = SmrHeader::alloc(DropProbe(drops.clone()), 7);
+        let h = unsafe { SmrHeader::of_value(p) };
+        assert_eq!(unsafe { SmrHeader::value_word(h) }, p as usize);
+        assert_eq!(unsafe { (*h).birth_era }, 7);
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        unsafe { SmrHeader::destroy(h) };
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn value_is_usable_through_pointer() {
+        let p = SmrHeader::alloc(vec![1u32, 2, 3], 0);
+        unsafe {
+            assert_eq!((*p).len(), 3);
+            (*p).push(4);
+            assert_eq!((&*p)[3], 4);
+            SmrHeader::destroy(SmrHeader::of_value(p));
+        }
+    }
+
+    #[test]
+    fn high_alignment_values_keep_offsets_consistent() {
+        #[repr(align(64))]
+        struct Aligned(#[allow(dead_code)] u8);
+        let p = SmrHeader::alloc(Aligned(9), 0);
+        assert_eq!(p as usize % 64, 0);
+        let h = unsafe { SmrHeader::of_value(p) };
+        assert_eq!(unsafe { SmrHeader::value_word(h) }, p as usize);
+        unsafe { SmrHeader::destroy(h) };
+    }
+
+    #[test]
+    fn as_word_matches_pointer_value() {
+        let x = Box::into_raw(Box::new(5u8));
+        let a: AtomicPtr<u8> = AtomicPtr::new(x);
+        assert_eq!(as_word(&a).load(Ordering::SeqCst), x as usize);
+        unsafe { drop(Box::from_raw(x)) };
+    }
+
+    #[test]
+    fn headers_are_linkable() {
+        let a = SmrHeader::alloc(1u64, 0);
+        let b = SmrHeader::alloc(2u64, 0);
+        unsafe {
+            let ha = SmrHeader::of_value(a);
+            let hb = SmrHeader::of_value(b);
+            (*ha).next.store(hb, Ordering::SeqCst);
+            assert_eq!((*ha).next.load(Ordering::SeqCst), hb);
+            SmrHeader::destroy(ha);
+            SmrHeader::destroy(hb);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The "None" baseline: no reclamation at all.
+//!
+//! The paper's queue figures (Figs. 1–2) normalize every scheme against a
+//! leaky run, and the list figures include a `None` series. Retired nodes
+//! are simply abandoned; `protect` degenerates to a plain load. This is the
+//! upper bound on throughput and the lower bound on memory hygiene.
+
+use crate::header::SmrHeader;
+use crate::Smr;
+use orc_util::track;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// No-op reclamation scheme (leaks every retired node).
+#[derive(Default)]
+pub struct Leaky {
+    retired: AtomicUsize,
+}
+
+impl Leaky {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Smr for Leaky {
+    fn name(&self) -> &'static str {
+        "None"
+    }
+
+    fn alloc<T: Send>(&self, value: T) -> *mut T {
+        crate::header::alloc_tracked(value, 0)
+    }
+
+    #[inline]
+    fn end_op(&self) {}
+
+    #[inline]
+    fn protect(&self, _idx: usize, addr: &AtomicUsize) -> usize {
+        addr.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn publish(&self, _idx: usize, _word: usize) {}
+
+    #[inline]
+    fn clear(&self, _idx: usize) {}
+
+    unsafe fn retire<T: Send>(&self, _ptr: *mut T) {
+        self.retired.fetch_add(1, Ordering::Relaxed);
+        track::global().on_retire();
+    }
+
+    unsafe fn dealloc_now<T>(&self, ptr: *mut T) {
+        unsafe { crate::header::destroy_tracked(SmrHeader::of_value(ptr)) };
+    }
+
+    fn flush(&self) {}
+
+    fn unreclaimed(&self) -> usize {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    fn is_lock_free(&self) -> bool {
+        // Trivially non-blocking, but provides no reclamation guarantee:
+        // the unreclaimed bound is infinite.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protect_is_plain_load() {
+        let l = Leaky::new();
+        let a = AtomicUsize::new(77);
+        assert_eq!(l.protect(0, &a), 77);
+    }
+
+    #[test]
+    fn retire_counts_but_never_frees() {
+        let l = Leaky::new();
+        let p = l.alloc(123u64);
+        unsafe { l.retire(p) };
+        assert_eq!(l.unreclaimed(), 1);
+        l.flush();
+        assert_eq!(l.unreclaimed(), 1);
+        // The object is still readable — that is the point of the baseline.
+        assert_eq!(unsafe { *p }, 123);
+    }
+
+    #[test]
+    fn dealloc_now_frees_immediately() {
+        struct Probe(std::sync::Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let l = Leaky::new();
+        let drops = std::sync::Arc::new(AtomicUsize::new(0));
+        let p = l.alloc(Probe(drops.clone()));
+        unsafe { l.dealloc_now(p) };
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+}

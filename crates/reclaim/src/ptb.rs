@@ -1,0 +1,403 @@
+//! Pass-the-buck (Herlihy, Luchangco, Moir 2002) — "The Repeat Offender
+//! Problem".
+//!
+//! Protection ("posting a guard") is the same publish-and-revalidate loop
+//! as HP. Liberation differs from both HP and PTP: `retire` accumulates a
+//! thread-local list and, at a threshold, runs `liberate`, which for each
+//! candidate value scans the guards; a guard still trapping the value gets
+//! the value *handed off* into its versioned handoff slot with a
+//! double-word CAS (value, version), and whatever the slot previously held
+//! is taken back into the candidate set. Values that survive the scan
+//! unguarded are freed. Because every thread can hold a full candidate
+//! list, the scheme's unreclaimed bound is `O(H·t²)` — quadratic, as
+//! Table 1 of the OrcGC paper lists.
+//!
+//! This is a from-scratch reconstruction of the published algorithm on top
+//! of this crate's header/slot machinery; the handoff version counter
+//! (incremented on every DWCAS) plays the role of the original's trap
+//! counter, preventing the A-was-handed-off-and-back ABA.
+
+use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
+use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
+use crate::{Smr, MAX_HPS};
+use orc_util::dwcas::{pack, unpack, AtomicU128};
+use orc_util::{registry, track, CachePadded};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct ThreadState {
+    retired: Vec<*mut SmrHeader>,
+}
+
+unsafe impl Send for ThreadState {}
+
+struct Inner {
+    guards: SlotArray,
+    /// `handoff[tid][idx]` = (header ptr, version), updated only by DWCAS.
+    handoff: Box<[CachePadded<[AtomicU128; MAX_HPS]>]>,
+    threads: PerThread<ThreadState>,
+    orphans: OrphanStack,
+    hooks: ExitHooks,
+    unreclaimed: AtomicUsize,
+    threshold_base: usize,
+}
+
+/// Pass-the-buck reclamation (Herlihy et al. 2002).
+pub struct PassTheBuck {
+    inner: Arc<Inner>,
+}
+
+impl PassTheBuck {
+    pub fn new() -> Self {
+        Self::with_threshold(0)
+    }
+
+    pub fn with_threshold(threshold_base: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                guards: SlotArray::new(),
+                handoff: (0..registry::max_threads())
+                    .map(|_| CachePadded::new(std::array::from_fn(|_| AtomicU128::new(0))))
+                    .collect(),
+                threads: PerThread::new(),
+                orphans: OrphanStack::new(),
+                hooks: ExitHooks::new(),
+                unreclaimed: AtomicUsize::new(0),
+                threshold_base,
+            }),
+        }
+    }
+
+    #[inline]
+    fn attach(&self) -> usize {
+        let tid = registry::tid();
+        if self.inner.hooks.attach(tid) {
+            // Hold only a Weak reference: the hook must not keep the
+            // scheme alive after its last user drops it (Inner::drop then
+            // reclaims everything, which is strictly better).
+            let inner = Arc::downgrade(&self.inner);
+            registry::defer_at_exit(move || {
+                if let Some(inner) = inner.upgrade() {
+                    inner.thread_exit(tid);
+                }
+            });
+        }
+        tid
+    }
+}
+
+impl Default for PassTheBuck {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for PassTheBuck {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Inner {
+    fn threshold(&self) -> usize {
+        if self.threshold_base != 0 {
+            self.threshold_base
+        } else {
+            2 * MAX_HPS * registry::registered_watermark() + 8
+        }
+    }
+
+    /// Attempts to hand `h` off to a guard trapping it; returns the
+    /// displaced occupant (to be re-liberated) on success, or `h` itself if
+    /// no guard traps it (caller frees).
+    fn liberate_one(&self, mut h: *mut SmrHeader) -> Option<*mut SmrHeader> {
+        let wm = registry::registered_watermark();
+        let mut it = 0;
+        while it < wm {
+            let mut idx = 0;
+            while idx < MAX_HPS {
+                if self.guards.get(it, idx).load(Ordering::SeqCst)
+                    == unsafe { SmrHeader::value_word(h) }
+                {
+                    // Guard (it, idx) traps h: hand it off with a versioned
+                    // DWCAS; retry on version races while still trapped.
+                    let slot = &self.handoff[it][idx];
+                    loop {
+                        let cur = slot.load();
+                        let (old_ptr, ver) = unpack(cur);
+                        if self.guards.get(it, idx).load(Ordering::SeqCst)
+                            != unsafe { SmrHeader::value_word(h) }
+                        {
+                            break; // guard moved on; rescan this slot
+                        }
+                        let (_, ok) =
+                            slot.compare_exchange(cur, pack(h as u64, ver.wrapping_add(1)));
+                        if ok {
+                            let displaced = old_ptr as *mut SmrHeader;
+                            if displaced.is_null() {
+                                return None;
+                            }
+                            // The displaced value is no longer trapped by
+                            // this guard; continue the scan with it from
+                            // the same position.
+                            h = displaced;
+                            break;
+                        }
+                    }
+                    if self.guards.get(it, idx).load(Ordering::SeqCst)
+                        == unsafe { SmrHeader::value_word(h) }
+                    {
+                        continue; // re-examine the same slot for the new h
+                    }
+                }
+                idx += 1;
+            }
+            it += 1;
+        }
+        Some(h)
+    }
+
+    fn liberate(&self, tid: usize) {
+        let st = unsafe { self.threads.get_mut(tid) };
+        for h in self.orphans.drain() {
+            st.retired.push(h);
+        }
+        let candidates: Vec<_> = st.retired.drain(..).collect();
+        for h in candidates {
+            if let Some(free) = self.liberate_one(h) {
+                unsafe { destroy_tracked(free) };
+                self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
+                track::global().on_reclaim();
+            }
+        }
+    }
+
+    /// Clears guard `(tid, idx)` and reclaims/requeues its handoff value.
+    fn clear_slot(&self, tid: usize, idx: usize) {
+        self.guards.clear(tid, idx);
+        let slot = &self.handoff[tid][idx];
+        loop {
+            let cur = slot.load();
+            let (ptr, ver) = unpack(cur);
+            if ptr == 0 {
+                return;
+            }
+            let (_, ok) = slot.compare_exchange(cur, pack(0, ver.wrapping_add(1)));
+            if ok {
+                let h = ptr as *mut SmrHeader;
+                // The guard is down; nothing traps it here any more, but
+                // another guard might — re-liberate.
+                if let Some(free) = self.liberate_one(h) {
+                    unsafe { destroy_tracked(free) };
+                    self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
+                    track::global().on_reclaim();
+                }
+                return;
+            }
+        }
+    }
+
+    fn thread_exit(&self, tid: usize) {
+        self.liberate(tid);
+        for idx in 0..MAX_HPS {
+            self.clear_slot(tid, idx);
+        }
+        let st = unsafe { self.threads.get_mut(tid) };
+        for h in st.retired.drain(..) {
+            unsafe { self.orphans.push(h) };
+        }
+        self.hooks.reset(tid);
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        for tid in 0..self.threads.len() {
+            let st = unsafe { self.threads.get_mut(tid) };
+            for h in st.retired.drain(..) {
+                unsafe { destroy_tracked(h) };
+                track::global().on_reclaim();
+            }
+        }
+        for h in self.orphans.drain() {
+            unsafe { destroy_tracked(h) };
+            track::global().on_reclaim();
+        }
+        for row in self.handoff.iter() {
+            for slot in row.iter() {
+                let (ptr, _) = unpack(slot.load());
+                if ptr != 0 {
+                    unsafe { destroy_tracked(ptr as *mut SmrHeader) };
+                    track::global().on_reclaim();
+                }
+            }
+        }
+    }
+}
+
+impl Smr for PassTheBuck {
+    fn name(&self) -> &'static str {
+        "PTB"
+    }
+
+    fn alloc<T: Send>(&self, value: T) -> *mut T {
+        alloc_tracked(value, 0)
+    }
+
+    fn end_op(&self) {
+        let tid = self.attach();
+        for idx in 0..MAX_HPS {
+            self.inner.clear_slot(tid, idx);
+        }
+    }
+
+    #[inline]
+    fn protect(&self, idx: usize, addr: &AtomicUsize) -> usize {
+        let tid = self.attach();
+        self.inner.guards.protect_loop(tid, idx, addr)
+    }
+
+    #[inline]
+    fn publish(&self, idx: usize, word: usize) {
+        let tid = self.attach();
+        self.inner
+            .guards
+            .publish_copy(tid, idx, orc_util::marked::unmark(word));
+    }
+
+    #[inline]
+    fn clear(&self, idx: usize) {
+        let tid = self.attach();
+        self.inner.clear_slot(tid, idx);
+    }
+
+    unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        let tid = self.attach();
+        let h = unsafe { SmrHeader::of_value(ptr) };
+        self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed);
+        track::global().on_retire();
+        let st = unsafe { self.inner.threads.get_mut(tid) };
+        st.retired.push(h);
+        if st.retired.len() >= self.inner.threshold() {
+            self.inner.liberate(tid);
+        }
+    }
+
+    fn flush(&self) {
+        let tid = self.attach();
+        self.inner.liberate(tid);
+    }
+
+    fn unreclaimed(&self) -> usize {
+        self.inner.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    fn is_lock_free(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicPtr;
+
+    #[test]
+    fn unguarded_retire_frees_on_liberate() {
+        let ptb = PassTheBuck::with_threshold(4);
+        for i in 0..16 {
+            let p = ptb.alloc(i as u64);
+            unsafe { ptb.retire(p) };
+        }
+        ptb.flush();
+        assert_eq!(ptb.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn guarded_value_is_handed_off_not_freed() {
+        let ptb = PassTheBuck::with_threshold(1);
+        let p = ptb.alloc(3u64);
+        let addr = AtomicPtr::new(p);
+        ptb.protect_ptr(0, &addr);
+        unsafe { ptb.retire(p) }; // liberate runs; hands p to our own guard
+        assert_eq!(ptb.unreclaimed(), 1);
+        assert_eq!(unsafe { *p }, 3);
+        ptb.clear(0); // dropping the guard reclaims the handoff value
+        assert_eq!(ptb.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn displaced_handoff_value_is_requeued() {
+        let ptb = PassTheBuck::with_threshold(1);
+        let a = ptb.alloc(1u64);
+        let b = ptb.alloc(2u64);
+        let addr = AtomicPtr::new(a);
+        ptb.protect_ptr(0, &addr);
+        unsafe { ptb.retire(a) }; // a handed to guard 0
+        addr.store(b, Ordering::SeqCst);
+        ptb.protect_ptr(0, &addr); // guard 0 now traps b
+        unsafe { ptb.retire(b) }; // b handed off, a displaced and freed
+        assert_eq!(ptb.unreclaimed(), 1);
+        ptb.end_op();
+        assert_eq!(ptb.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn cross_thread_guard_blocks_free() {
+        let ptb = PassTheBuck::with_threshold(1);
+        let p = ptb.alloc(8u64);
+        let addr = Arc::new(AtomicPtr::new(p));
+        let ptb2 = ptb.clone();
+        let addr2 = addr.clone();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let t = std::thread::spawn(move || {
+            let got = ptb2.protect_ptr(1, &addr2);
+            tx.send(()).unwrap();
+            done_rx.recv().unwrap();
+            assert_eq!(unsafe { *got }, 8);
+            ptb2.end_op();
+        });
+        rx.recv().unwrap();
+        unsafe { ptb.retire(p) };
+        assert_eq!(ptb.unreclaimed(), 1);
+        done_tx.send(()).unwrap();
+        t.join().unwrap();
+        assert_eq!(ptb.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn concurrent_swap_and_read_stress() {
+        let ptb = Arc::new(PassTheBuck::new());
+        let addr = Arc::new(AtomicPtr::new(ptb.alloc(0u64)));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ptb = ptb.clone();
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    for i in 0..4_000u64 {
+                        if t % 2 == 0 {
+                            let n = ptb.alloc(i);
+                            let old = addr.swap(n, Ordering::SeqCst);
+                            unsafe { ptb.retire(old) };
+                        } else {
+                            let p = ptb.protect_ptr(0, &addr);
+                            assert!(unsafe { *p } < 4_000);
+                            ptb.end_op();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let last = addr.load(Ordering::SeqCst);
+        unsafe { ptb.retire(last) };
+        ptb.flush();
+        assert_eq!(ptb.unreclaimed(), 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Pass-the-pointer (PTP) — the paper's manual scheme (§3.1, Algorithm 2).
+//!
+//! Protection is identical to HP/PTB: publish in `hp[tid][idx]`, re-read,
+//! retry. Retirement is where PTP differs: instead of accumulating a
+//! thread-local retired list, `retire` *immediately* walks every published
+//! hazard pointer and, on finding a slot protecting the object, atomically
+//! `exchange`s the object into that slot's *handover* entry — transferring
+//! responsibility for the free to the protecting thread. Whatever pointer
+//! previously occupied that handover entry continues the walk from the same
+//! position, so pointers only ever move *forward* through the
+//! `[maxThreads][maxHPs]` handover matrix and each object is handed over at
+//! most `t × H` times. If the walk falls off the end, the object is deleted
+//! on the spot.
+//!
+//! Consequences (Table 1): at most one in-flight pointer per thread plus
+//! `t × H` parked in handover entries — an **O(H·t)** bound, the first
+//! linear bound for a pointer-based scheme — with no retired lists at all.
+//!
+//! `clear` additionally drains the slot's handover entry (the "optional"
+//! lines 16–19 of Algorithm 2) so parked objects are not stranded when a
+//! slot stops being used; the continuation walk starts at the clearing
+//! thread's own row, preserving the forward-only invariant. This relies on
+//! the documented PTP/OrcGC constraint that protections are never *copied*
+//! from a higher-indexed slot to a lower-indexed one (fresh protections
+//! always re-validate against a shared link, which retired objects are no
+//! longer reachable from).
+
+use crate::hazard::{ExitHooks, SlotArray};
+use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
+use crate::{Smr, MAX_HPS};
+use orc_util::{registry, track};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Inner {
+    hp: SlotArray,
+    /// `handovers[tid][idx]` holds a *header* pointer (as usize) parked on
+    /// the hazard slot `hp[tid][idx]`.
+    handovers: SlotArray,
+    hooks: ExitHooks,
+    unreclaimed: AtomicUsize,
+}
+
+/// Pass-the-pointer manual reclamation (PPoPP '21, Algorithm 2).
+pub struct PassThePointer {
+    inner: Arc<Inner>,
+}
+
+impl PassThePointer {
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                hp: SlotArray::new(),
+                handovers: SlotArray::new(),
+                hooks: ExitHooks::new(),
+                unreclaimed: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    #[inline]
+    fn attach(&self) -> usize {
+        let tid = registry::tid();
+        if self.inner.hooks.attach(tid) {
+            // Hold only a Weak reference: the hook must not keep the
+            // scheme alive after its last user drops it (Inner::drop then
+            // reclaims everything, which is strictly better).
+            let inner = Arc::downgrade(&self.inner);
+            registry::defer_at_exit(move || {
+                if let Some(inner) = inner.upgrade() {
+                    inner.thread_exit(tid);
+                }
+            });
+        }
+        tid
+    }
+}
+
+impl Default for PassThePointer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for PassThePointer {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Inner {
+    /// Algorithm 2, `handoverOrDelete`: walk the hazard matrix from row
+    /// `start`; hand the object to any slot protecting it; delete at the
+    /// end of the walk.
+    fn handover_or_delete(&self, mut h: *mut SmrHeader, start: usize) {
+        let wm = registry::registered_watermark();
+        let mut it = start;
+        while it < wm {
+            let mut idx = 0;
+            while idx < MAX_HPS {
+                if self.hp.get(it, idx).load(Ordering::SeqCst)
+                    == unsafe { SmrHeader::value_word(h) }
+                {
+                    let prev = self
+                        .handovers
+                        .get(it, idx)
+                        .swap(h as usize, Ordering::SeqCst);
+                    if prev == 0 {
+                        return;
+                    }
+                    h = prev as *mut SmrHeader;
+                    // Re-check the same slot against the pointer we just
+                    // took over (Algorithm 2, lines 30–31).
+                    if self.hp.get(it, idx).load(Ordering::SeqCst)
+                        == unsafe { SmrHeader::value_word(h) }
+                    {
+                        continue;
+                    }
+                }
+                idx += 1;
+            }
+            it += 1;
+        }
+        unsafe { destroy_tracked(h) };
+        self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
+        track::global().on_reclaim();
+    }
+
+    /// Clears `hp[tid][idx]` and continues the retirement of any pointer
+    /// parked in the matching handover entry.
+    fn clear_slot(&self, tid: usize, idx: usize) {
+        self.hp.clear(tid, idx);
+        if self.handovers.get(tid, idx).load(Ordering::SeqCst) != 0 {
+            let parked = self.handovers.get(tid, idx).swap(0, Ordering::SeqCst);
+            if parked != 0 {
+                self.handover_or_delete(parked as *mut SmrHeader, tid);
+            }
+        }
+    }
+
+    fn thread_exit(&self, tid: usize) {
+        for idx in 0..MAX_HPS {
+            self.clear_slot(tid, idx);
+        }
+        self.hooks.reset(tid);
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Exclusive access at teardown: anything still parked is freed.
+        for tid in 0..registry::max_threads() {
+            for idx in 0..MAX_HPS {
+                let parked = self.handovers.get(tid, idx).swap(0, Ordering::SeqCst);
+                if parked != 0 {
+                    unsafe { destroy_tracked(parked as *mut SmrHeader) };
+                    track::global().on_reclaim();
+                }
+            }
+        }
+    }
+}
+
+impl Smr for PassThePointer {
+    fn name(&self) -> &'static str {
+        "PTP"
+    }
+
+    fn alloc<T: Send>(&self, value: T) -> *mut T {
+        alloc_tracked(value, 0)
+    }
+
+    fn end_op(&self) {
+        let tid = self.attach();
+        for idx in 0..MAX_HPS {
+            self.inner.clear_slot(tid, idx);
+        }
+    }
+
+    #[inline]
+    fn protect(&self, idx: usize, addr: &AtomicUsize) -> usize {
+        let tid = self.attach();
+        self.inner.hp.protect_loop(tid, idx, addr)
+    }
+
+    #[inline]
+    fn publish(&self, idx: usize, word: usize) {
+        let tid = self.attach();
+        self.inner
+            .hp
+            .publish_copy(tid, idx, orc_util::marked::unmark(word));
+    }
+
+    #[inline]
+    fn clear(&self, idx: usize) {
+        let tid = self.attach();
+        self.inner.clear_slot(tid, idx);
+    }
+
+    unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        self.attach();
+        let h = unsafe { SmrHeader::of_value(ptr) };
+        self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed);
+        track::global().on_retire();
+        // Algorithm 2, line 22: the walk starts at row 0.
+        self.inner.handover_or_delete(h, 0);
+    }
+
+    fn flush(&self) {
+        // PTP keeps no retired lists; nothing to drain beyond our own
+        // handover entries, which clear() already services.
+        let tid = self.attach();
+        for idx in 0..MAX_HPS {
+            if self.inner.hp.get(tid, idx).load(Ordering::SeqCst) == 0 {
+                self.inner.clear_slot(tid, idx);
+            }
+        }
+    }
+
+    fn unreclaimed(&self) -> usize {
+        self.inner.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    fn is_lock_free(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicPtr;
+
+    #[test]
+    fn unprotected_retire_frees_immediately() {
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let ptp = PassThePointer::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+        let p = ptp.alloc(Probe(drops.clone()));
+        unsafe { ptp.retire(p) };
+        assert_eq!(ptp.unreclaimed(), 0, "no protector: deleted on the spot");
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn protected_retire_parks_in_handover() {
+        let ptp = PassThePointer::new();
+        let p = ptp.alloc(5u32);
+        let addr = AtomicPtr::new(p);
+        let got = ptp.protect_ptr(0, &addr);
+        assert_eq!(got, p);
+        unsafe { ptp.retire(p) };
+        // Parked on our own slot: still readable, counted as unreclaimed.
+        assert_eq!(ptp.unreclaimed(), 1);
+        assert_eq!(unsafe { *p }, 5);
+        // Clearing the slot continues (and here finishes) the retirement.
+        ptp.clear(0);
+        assert_eq!(ptp.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn end_op_drains_all_handovers() {
+        let ptp = PassThePointer::new();
+        let mut ptrs = Vec::new();
+        for i in 0..4 {
+            let p = ptp.alloc(i as u64);
+            let addr = AtomicPtr::new(p);
+            ptp.protect_ptr(i, &addr);
+            ptrs.push(p);
+        }
+        for p in &ptrs {
+            unsafe { ptp.retire(*p) };
+        }
+        assert_eq!(ptp.unreclaimed(), 4);
+        ptp.end_op();
+        assert_eq!(ptp.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn handover_chain_pushes_forward() {
+        // Two objects protected by the same slot in sequence: retiring the
+        // second must displace the first from the handover entry and
+        // continue its walk (deleting it, since nothing else protects it).
+        let ptp = PassThePointer::new();
+        let a = ptp.alloc(1u64);
+        let b = ptp.alloc(2u64);
+        let addr = AtomicPtr::new(a);
+        ptp.protect_ptr(0, &addr);
+        unsafe { ptp.retire(a) }; // parked on slot 0
+        assert_eq!(ptp.unreclaimed(), 1);
+        // Re-protect slot 0 on b, then retire b: b parks, a is displaced and
+        // freed (slot no longer protects a).
+        addr.store(b, Ordering::SeqCst);
+        ptp.protect_ptr(0, &addr);
+        unsafe { ptp.retire(b) };
+        assert_eq!(ptp.unreclaimed(), 1, "only b should remain parked");
+        assert_eq!(unsafe { *b }, 2);
+        ptp.end_op();
+        assert_eq!(ptp.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn cross_thread_handover() {
+        let ptp = PassThePointer::new();
+        let p = ptp.alloc(77u64);
+        let addr = Arc::new(AtomicPtr::new(p));
+        let ptp2 = ptp.clone();
+        let addr2 = addr.clone();
+        let (protected_tx, protected_rx) = std::sync::mpsc::channel();
+        let (retired_tx, retired_rx) = std::sync::mpsc::channel::<()>();
+        let t = std::thread::spawn(move || {
+            let got = ptp2.protect_ptr(0, &addr2);
+            protected_tx.send(()).unwrap();
+            retired_rx.recv().unwrap();
+            // Object was retired by the main thread while we protect it; we
+            // must still be able to read it.
+            assert_eq!(unsafe { *got }, 77);
+            ptp2.end_op(); // draining our handover frees it
+        });
+        protected_rx.recv().unwrap();
+        unsafe { ptp.retire(p) };
+        assert_eq!(ptp.unreclaimed(), 1, "parked on the reader's slot");
+        retired_tx.send(()).unwrap();
+        t.join().unwrap();
+        assert_eq!(ptp.unreclaimed(), 0);
+    }
+
+    #[test]
+    fn linear_bound_holds_under_stress() {
+        // t threads each with H protections; an adversary retires objects
+        // continuously. PTP guarantees unreclaimed <= t*(H+1) at all times.
+        let ptp = Arc::new(PassThePointer::new());
+        let readers = 3usize;
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let shared: Arc<Vec<AtomicPtr<u64>>> = Arc::new(
+            (0..MAX_HPS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        );
+        for s in shared.iter() {
+            s.store(ptp.alloc(0u64), Ordering::SeqCst);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..readers {
+            let ptp = ptp.clone();
+            let shared = shared.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for idx in 0..MAX_HPS {
+                        let p = ptp.protect_ptr(idx, &shared[idx]);
+                        if !p.is_null() {
+                            unsafe { std::ptr::read_volatile(p) };
+                        }
+                    }
+                    ptp.end_op();
+                }
+            }));
+        }
+        let mut max_seen = 0;
+        for round in 0..2_000u64 {
+            let idx = (round as usize) % MAX_HPS;
+            let fresh = ptp.alloc(round);
+            let old = shared[idx].swap(fresh, Ordering::SeqCst);
+            unsafe { ptp.retire(old) };
+            max_seen = max_seen.max(ptp.unreclaimed());
+        }
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let bound = (readers + 2) * (MAX_HPS + 1);
+        assert!(
+            max_seen <= bound,
+            "unreclaimed {max_seen} exceeded linear bound {bound}"
+        );
+        // Cleanup.
+        for s in shared.iter() {
+            let p = s.swap(std::ptr::null_mut(), Ordering::SeqCst);
+            unsafe { ptp.retire(p) };
+        }
+        ptp.end_op();
+        assert_eq!(ptp.unreclaimed(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Harris's *original* lock-free list (DISC 2001) under OrcGC.
+//!
+//! Unlike Michael's reformulation, Harris's search traverses *through*
+//! marked nodes and snips whole marked segments with a single CAS. A
+//! snipped segment is unreachable from the list but its interior nodes
+//! still point at each other and at the reachable `right` node — which is
+//! precisely why "the correctness [of Harris's list] is lost when
+//! integrated with most reclamation schemes" (paper §2, second obstacle):
+//! a traverser standing inside the segment keeps walking links of nodes a
+//! manual scheme would already have freed. Under OrcGC the traverser's
+//! guards keep the segment alive, the segment's own hard links keep its
+//! suffix alive, and the whole chain collapses automatically once the last
+//! guard leaves. (Segments are bounded, satisfying §4's chain condition.)
+
+use crate::ConcurrentSet;
+use orc_util::marked::{mark, unmark};
+use orcgc::{make_orc, OrcAtomic, OrcPtr};
+
+struct Node<K: Send + Sync> {
+    key: K,
+    next: OrcAtomic<Node<K>>,
+}
+
+/// Harris's original lock-free ordered set with OrcGC annotations.
+pub struct HarrisListOrc<K: Send + Sync> {
+    head: OrcAtomic<Node<K>>,
+}
+
+struct SearchResult<K: Send + Sync> {
+    /// Last unmarked node with key < target (null guard = head).
+    left: OrcPtr<Node<K>>,
+    /// `left`'s successor at observation time (start of any marked
+    /// segment), as an unmarked word.
+    left_next: usize,
+    /// First unmarked node with key >= target (null = end of list).
+    right: OrcPtr<Node<K>>,
+}
+
+impl<K> HarrisListOrc<K>
+where
+    K: Ord + Copy + Send + Sync + 'static,
+{
+    pub fn new() -> Self {
+        Self {
+            head: OrcAtomic::null(),
+        }
+    }
+
+    fn link_of<'a>(&'a self, node: &'a OrcPtr<Node<K>>) -> &'a OrcAtomic<Node<K>> {
+        match node.as_ref() {
+            None => &self.head,
+            Some(n) => &n.next,
+        }
+    }
+
+    /// Harris `search`: find adjacent (left, right); snip the marked
+    /// segment between them if there is one.
+    fn search(&self, key: &K) -> SearchResult<K> {
+        'retry: loop {
+            let mut left: OrcPtr<Node<K>> = OrcPtr::null();
+            let mut left_next_word;
+            let right;
+            // 1. Traverse, tracking the last unmarked node < key. The
+            //    traversal walks THROUGH marked nodes (their guards keep
+            //    them alive even if concurrently unlinked).
+            let mut t = self.head.load();
+            left_next_word = unmark(t.raw());
+            loop {
+                let Some(node) = t.as_ref() else {
+                    right = t;
+                    break;
+                };
+                let next = node.next.load();
+                if !next.is_marked() {
+                    if &node.key >= key {
+                        right = t;
+                        break;
+                    }
+                    left = t;
+                    left_next_word = unmark(next.raw());
+                }
+                t = next;
+            }
+            // 2. If left and right are adjacent, no snip needed.
+            if left_next_word == unmark(right.raw()) {
+                if right
+                    .as_ref()
+                    .is_some_and(|r| orc_util::marked::is_marked(r.next.load_raw()))
+                {
+                    continue 'retry; // right got marked under us
+                }
+                return SearchResult {
+                    left,
+                    left_next: left_next_word,
+                    right,
+                };
+            }
+            // 3. Snip the whole marked segment [left_next, right) with one
+            //    CAS on left's link.
+            if self.link_of(&left).cas_tagged(left_next_word, &right, 0) {
+                if right
+                    .as_ref()
+                    .is_some_and(|r| orc_util::marked::is_marked(r.next.load_raw()))
+                {
+                    continue 'retry;
+                }
+                return SearchResult {
+                    left,
+                    left_next: unmark(right.raw()),
+                    right,
+                };
+            }
+        }
+    }
+
+    pub fn add(&self, key: K) -> bool {
+        let node = make_orc(Node {
+            key,
+            next: OrcAtomic::null(),
+        });
+        loop {
+            let w = self.search(&key);
+            if w.right.as_ref().is_some_and(|r| r.key == key) {
+                return false;
+            }
+            node.next.store_tagged(&w.right, 0);
+            if self.link_of(&w.left).cas_tagged(w.left_next, &node, 0) {
+                return true;
+            }
+        }
+    }
+
+    pub fn remove(&self, key: &K) -> bool {
+        loop {
+            let w = self.search(key);
+            let Some(rnode) = w.right.as_ref() else {
+                return false;
+            };
+            if &rnode.key != key {
+                return false;
+            }
+            let right_next = rnode.next.load();
+            if right_next.is_marked() {
+                continue;
+            }
+            // Logical delete.
+            if !rnode
+                .next
+                .cas_tag_only(right_next.raw(), mark(right_next.raw()))
+            {
+                continue;
+            }
+            // Best-effort physical snip; otherwise the next search does it.
+            if !self
+                .link_of(&w.left)
+                .cas_tagged(unmark(w.right.raw()), &right_next, 0)
+            {
+                let _ = self.search(key);
+            }
+            return true;
+        }
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        let w = self.search(key);
+        w.right.as_ref().is_some_and(|r| &r.key == key)
+    }
+
+    /// Unmarked-node count; quiescent callers only.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut curr = self.head.load();
+        while let Some(node) = curr.as_ref() {
+            let next = node.next.load();
+            if !next.is_marked() {
+                n += 1;
+            }
+            curr = next;
+        }
+        n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Ord + Copy + Send + Sync + 'static> Default for HarrisListOrc<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> ConcurrentSet<K> for HarrisListOrc<K>
+where
+    K: Ord + Copy + Send + Sync + 'static,
+{
+    fn add(&self, key: K) -> bool {
+        HarrisListOrc::add(self, key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        HarrisListOrc::remove(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        HarrisListOrc::contains(self, key)
+    }
+
+    fn name(&self) -> &'static str {
+        "HarrisList-OrcGC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::set_tests;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics() {
+        set_tests::sequential_semantics(&HarrisListOrc::new());
+    }
+
+    #[test]
+    fn randomized_model_check() {
+        set_tests::randomized_against_model(&HarrisListOrc::new(), 11, 5_000);
+    }
+
+    #[test]
+    fn disjoint_stress() {
+        set_tests::disjoint_key_stress(Arc::new(HarrisListOrc::new()), 4);
+    }
+
+    #[test]
+    fn contended_stress() {
+        set_tests::contended_key_stress(Arc::new(HarrisListOrc::new()), 4);
+    }
+
+    #[test]
+    fn segment_snip_under_batch_removal() {
+        // Build a long run of keys, mark-delete them all (logically), then
+        // verify a single search snips the segment and the set is empty.
+        let list = HarrisListOrc::new();
+        for k in 0..128u64 {
+            assert!(list.add(k));
+        }
+        for k in (0..128u64).rev() {
+            assert!(list.remove(&k));
+        }
+        assert!(list.is_empty());
+        for k in 0..128u64 {
+            assert!(!list.contains(&k));
+        }
+    }
+
+    #[test]
+    fn no_leak_after_churn() {
+        let live_before = orc_util::track::global().live_objects();
+        {
+            let list = HarrisListOrc::new();
+            for round in 0..4 {
+                for k in 0..200u64 {
+                    list.add(k * 2 + round);
+                }
+                for k in 0..200u64 {
+                    list.remove(&(k * 2 + round));
+                }
+            }
+        }
+        orcgc::flush_thread();
+        let live_after = orc_util::track::global().live_objects();
+        assert!(
+            live_after - live_before < 64,
+            "Harris list leaked nodes: {live_before} -> {live_after}"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Michael's lock-free list-based set (SPAA 2002), generic over the
+//! manual reclamation schemes — the structure of the paper's Figures 3–4.
+//!
+//! This is the hazard-pointer-compatible reformulation of the Harris list:
+//! searches *physically unlink* every marked node they pass (so a node is
+//! retired as soon as it becomes unreachable, and traversals never walk
+//! through retired nodes), using three hazard slots rotated in scan order:
+//! slot 0 = next, slot 1 = curr, slot 2 = prev. Rotations only ever copy a
+//! protection to a *higher* slot index, as pass-the-pointer requires.
+
+use crate::ConcurrentSet;
+use orc_util::marked::{is_marked, mark, unmark};
+use reclaim::Smr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Node<K> {
+    key: K,
+    /// Link word: pointer to the successor plus the Harris deletion mark.
+    next: AtomicUsize,
+}
+
+/// Outcome of a search: whether the key was found, the address of the link
+/// that points at `curr`, and `curr` itself (word form).
+struct Window {
+    found: bool,
+    prev: *const AtomicUsize,
+    curr: usize,
+}
+
+/// Michael's lock-free ordered set under any [`Smr`] scheme.
+pub struct MichaelList<K, S: Smr> {
+    head: AtomicUsize,
+    smr: S,
+    _pd: std::marker::PhantomData<K>,
+}
+
+unsafe impl<K: Send, S: Smr> Send for MichaelList<K, S> {}
+unsafe impl<K: Send + Sync, S: Smr> Sync for MichaelList<K, S> {}
+
+impl<K, S> MichaelList<K, S>
+where
+    K: Ord + Copy + Send + Sync + 'static,
+    S: Smr,
+{
+    pub fn new(smr: S) -> Self {
+        Self {
+            head: AtomicUsize::new(0),
+            smr,
+            _pd: std::marker::PhantomData,
+        }
+    }
+
+    pub fn smr(&self) -> &S {
+        &self.smr
+    }
+
+    /// Michael's `find`: positions on the first node with `node.key >= key`,
+    /// unlinking (and retiring) every marked node encountered. Leaves
+    /// protections: slot 1 on `curr`, slot 2 on the node holding `prev`.
+    fn search(&self, key: &K) -> Window {
+        'retry: loop {
+            let mut prev: *const AtomicUsize = &self.head;
+            let mut curr = self.smr.protect(1, unsafe { &*prev });
+            debug_assert!(!is_marked(curr));
+            loop {
+                if curr == 0 {
+                    return Window {
+                        found: false,
+                        prev,
+                        curr,
+                    };
+                }
+                let node = curr as *const Node<K>;
+                let next = self.smr.protect(0, unsafe { &(*node).next });
+                // Validate that prev still links to curr, unmarked.
+                if unsafe { &*prev }.load(Ordering::SeqCst) != curr {
+                    continue 'retry;
+                }
+                if is_marked(next) {
+                    // curr is logically deleted: unlink it here and now.
+                    if unsafe { &*prev }
+                        .compare_exchange(curr, unmark(next), Ordering::SeqCst, Ordering::SeqCst)
+                        .is_err()
+                    {
+                        continue 'retry;
+                    }
+                    unsafe { self.smr.retire(curr as *mut Node<K>) };
+                    curr = unmark(next);
+                    // The new curr is protected by slot 0; move it up.
+                    self.smr.publish(1, curr);
+                } else {
+                    let nkey = unsafe { &(*node).key };
+                    if nkey >= key {
+                        return Window {
+                            found: nkey == key,
+                            prev,
+                            curr,
+                        };
+                    }
+                    // Advance: rotate protections upward (0 -> 1 -> 2).
+                    self.smr.publish(2, curr);
+                    prev = unsafe { &(*node).next };
+                    curr = next;
+                    self.smr.publish(1, curr);
+                }
+            }
+        }
+    }
+
+    pub fn add(&self, key: K) -> bool {
+        let node = self.smr.alloc(Node {
+            key,
+            next: AtomicUsize::new(0),
+        });
+        self.smr.begin_op();
+        let inserted = loop {
+            let w = self.search(&key);
+            if w.found {
+                // Never shared: free immediately.
+                unsafe { self.smr.dealloc_now(node) };
+                break false;
+            }
+            unsafe { (*node).next.store(w.curr, Ordering::Relaxed) };
+            if unsafe { &*w.prev }
+                .compare_exchange(w.curr, node as usize, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break true;
+            }
+        };
+        self.smr.end_op();
+        inserted
+    }
+
+    pub fn remove(&self, key: &K) -> bool {
+        self.smr.begin_op();
+        let removed = loop {
+            let w = self.search(key);
+            if !w.found {
+                break false;
+            }
+            let node = w.curr as *const Node<K>;
+            let next = unsafe { (*node).next.load(Ordering::SeqCst) };
+            if is_marked(next) {
+                continue; // concurrently deleted; settle who wins via search
+            }
+            // Logical deletion: mark the next pointer.
+            if unsafe { &(*node).next }
+                .compare_exchange(next, mark(next), Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                continue;
+            }
+            // Physical unlink; on failure a future search will do it.
+            if unsafe { &*w.prev }
+                .compare_exchange(w.curr, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                unsafe { self.smr.retire(w.curr as *mut Node<K>) };
+            } else {
+                let _ = self.search(key);
+            }
+            break true;
+        };
+        self.smr.end_op();
+        removed
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        self.smr.begin_op();
+        let found = self.search(key).found;
+        self.smr.end_op();
+        found
+    }
+
+    /// Number of (unmarked) nodes; quiescent callers only (tests/benches).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut p = self.head.load(Ordering::SeqCst);
+        while p != 0 {
+            let node = unmark(p) as *const Node<K>;
+            let next = unsafe { (*node).next.load(Ordering::SeqCst) };
+            if !is_marked(next) {
+                n += 1;
+            }
+            p = unmark(next);
+        }
+        n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K, S: Smr> Drop for MichaelList<K, S> {
+    fn drop(&mut self) {
+        let mut p = unmark(*self.head.get_mut());
+        while p != 0 {
+            let node = p as *mut Node<K>;
+            let next = unsafe { (*node).next.load(Ordering::Relaxed) };
+            unsafe { self.smr.dealloc_now(node) };
+            p = unmark(next);
+        }
+    }
+}
+
+impl<K, S> ConcurrentSet<K> for MichaelList<K, S>
+where
+    K: Ord + Copy + Send + Sync + 'static,
+    S: Smr,
+{
+    fn add(&self, key: K) -> bool {
+        MichaelList::add(self, key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        MichaelList::remove(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        MichaelList::contains(self, key)
+    }
+
+    fn name(&self) -> &'static str {
+        "MichaelList"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::set_tests;
+    use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer};
+    use std::sync::Arc;
+
+    #[test]
+    fn semantics_under_every_scheme() {
+        set_tests::sequential_semantics(&MichaelList::new(HazardPointers::new()));
+        set_tests::sequential_semantics(&MichaelList::new(PassThePointer::new()));
+        set_tests::sequential_semantics(&MichaelList::new(PassTheBuck::new()));
+        set_tests::sequential_semantics(&MichaelList::new(HazardEras::new()));
+        set_tests::sequential_semantics(&MichaelList::new(Ebr::new()));
+        set_tests::sequential_semantics(&MichaelList::new(Leaky::new()));
+    }
+
+    #[test]
+    fn randomized_model_check() {
+        set_tests::randomized_against_model(&MichaelList::new(HazardPointers::new()), 42, 4_000);
+        set_tests::randomized_against_model(&MichaelList::new(PassThePointer::new()), 43, 4_000);
+    }
+
+    #[test]
+    fn disjoint_stress_hp() {
+        set_tests::disjoint_key_stress(Arc::new(MichaelList::new(HazardPointers::new())), 4);
+    }
+
+    #[test]
+    fn disjoint_stress_ptp() {
+        set_tests::disjoint_key_stress(Arc::new(MichaelList::new(PassThePointer::new())), 4);
+    }
+
+    #[test]
+    fn disjoint_stress_he() {
+        set_tests::disjoint_key_stress(Arc::new(MichaelList::new(HazardEras::new())), 4);
+    }
+
+    #[test]
+    fn disjoint_stress_ebr() {
+        set_tests::disjoint_key_stress(Arc::new(MichaelList::new(Ebr::new())), 4);
+    }
+
+    #[test]
+    fn contended_stress_ptp() {
+        set_tests::contended_key_stress(Arc::new(MichaelList::new(PassThePointer::new())), 4);
+    }
+
+    #[test]
+    fn contended_stress_ptb() {
+        set_tests::contended_key_stress(Arc::new(MichaelList::new(PassTheBuck::new())), 4);
+    }
+
+    #[test]
+    fn reclamation_happens_during_run() {
+        let list = MichaelList::new(HazardPointers::with_threshold(8));
+        for k in 0..512u64 {
+            assert!(list.add(k));
+        }
+        for k in 0..512u64 {
+            assert!(list.remove(&k));
+        }
+        list.smr().flush();
+        assert_eq!(
+            list.smr().unreclaimed(),
+            0,
+            "quiescent flush must reclaim every removed node"
+        );
+        assert!(list.is_empty());
+    }
+}

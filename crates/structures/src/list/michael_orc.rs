@@ -1,0 +1,245 @@
+//! Michael's list under OrcGC: identical algorithm to
+//! [`MichaelList`](crate::list::MichaelList), with the paper's type
+//! annotations instead of protect/retire calls. Unlinking a marked node is
+//! just a CAS — the node's hard-link count drops to zero and OrcGC does
+//! the rest.
+
+use crate::ConcurrentSet;
+use orc_util::marked::{mark, unmark};
+use orcgc::{make_orc, OrcAtomic, OrcPtr};
+
+pub(crate) struct Node<K: Send + Sync> {
+    pub(crate) key: K,
+    pub(crate) next: OrcAtomic<Node<K>>,
+}
+
+pub(crate) struct Window<K: Send + Sync> {
+    pub(crate) found: bool,
+    /// Node whose `next` links to `curr`; null guard = the list head.
+    pub(crate) prev: OrcPtr<Node<K>>,
+    pub(crate) curr: OrcPtr<Node<K>>,
+}
+
+/// Michael's lock-free ordered set with OrcGC annotations.
+pub struct MichaelListOrc<K: Send + Sync> {
+    head: OrcAtomic<Node<K>>,
+}
+
+impl<K> MichaelListOrc<K>
+where
+    K: Ord + Copy + Send + Sync + 'static,
+{
+    pub fn new() -> Self {
+        Self {
+            head: OrcAtomic::null(),
+        }
+    }
+
+    fn link_of<'a>(&'a self, prev: &'a OrcPtr<Node<K>>) -> &'a OrcAtomic<Node<K>> {
+        match prev.as_ref() {
+            None => &self.head,
+            Some(node) => &node.next,
+        }
+    }
+
+    fn search(&self, key: &K) -> Window<K> {
+        'retry: loop {
+            let mut prev: OrcPtr<Node<K>> = OrcPtr::null();
+            let mut curr = self.head.load();
+            loop {
+                let Some(cnode) = curr.as_ref() else {
+                    return Window {
+                        found: false,
+                        prev,
+                        curr,
+                    };
+                };
+                let next = cnode.next.load();
+                // Validate: prev must still link to curr, unmarked.
+                if self.link_of(&prev).load_raw() != unmark(curr.raw()) {
+                    continue 'retry;
+                }
+                if next.is_marked() {
+                    // Unlink the logically deleted curr (tag bits cleared
+                    // on the installed word).
+                    if !self.link_of(&prev).cas_tagged(unmark(curr.raw()), &next, 0) {
+                        continue 'retry;
+                    }
+                    curr = next;
+                } else {
+                    let nkey = &cnode.key;
+                    if nkey >= key {
+                        return Window {
+                            found: nkey == key,
+                            prev,
+                            curr,
+                        };
+                    }
+                    prev = curr;
+                    curr = next;
+                }
+            }
+        }
+    }
+
+    pub fn add(&self, key: K) -> bool {
+        let node = make_orc(Node {
+            key,
+            next: OrcAtomic::null(),
+        });
+        loop {
+            let w = self.search(&key);
+            if w.found {
+                return false; // node guard drops -> collected automatically
+            }
+            node.next.store_tagged(&w.curr, 0);
+            if self
+                .link_of(&w.prev)
+                .cas_tagged(unmark(w.curr.raw()), &node, 0)
+            {
+                return true;
+            }
+        }
+    }
+
+    pub fn remove(&self, key: &K) -> bool {
+        loop {
+            let w = self.search(key);
+            if !w.found {
+                return false;
+            }
+            let node = w.curr.as_ref().unwrap();
+            let next = node.next.load();
+            if next.is_marked() {
+                continue;
+            }
+            if !node.next.cas_tag_only(next.raw(), mark(next.raw())) {
+                continue;
+            }
+            // Physical unlink; if it fails, a later search cleans up.
+            if !self
+                .link_of(&w.prev)
+                .cas_tagged(unmark(w.curr.raw()), &next, 0)
+            {
+                let _ = self.search(key);
+            }
+            return true;
+        }
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        self.search(key).found
+    }
+
+    /// Unmarked-node count; quiescent callers only.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut curr = self.head.load();
+        while let Some(node) = curr.as_ref() {
+            let next = node.next.load();
+            if !next.is_marked() {
+                n += 1;
+            }
+            curr = next;
+        }
+        n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Ord + Copy + Send + Sync + 'static> Default for MichaelListOrc<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> ConcurrentSet<K> for MichaelListOrc<K>
+where
+    K: Ord + Copy + Send + Sync + 'static,
+{
+    fn add(&self, key: K) -> bool {
+        MichaelListOrc::add(self, key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        MichaelListOrc::remove(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        MichaelListOrc::contains(self, key)
+    }
+
+    fn name(&self) -> &'static str {
+        "MichaelList-OrcGC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::set_tests;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics() {
+        set_tests::sequential_semantics(&MichaelListOrc::new());
+    }
+
+    #[test]
+    fn randomized_model_check() {
+        set_tests::randomized_against_model(&MichaelListOrc::new(), 7, 5_000);
+    }
+
+    #[test]
+    fn disjoint_stress() {
+        set_tests::disjoint_key_stress(Arc::new(MichaelListOrc::new()), 4);
+    }
+
+    #[test]
+    fn contended_stress() {
+        set_tests::contended_key_stress(Arc::new(MichaelListOrc::new()), 4);
+    }
+
+    #[test]
+    fn removed_nodes_are_collected() {
+        let list = MichaelListOrc::new();
+        let live_before = orc_util::track::global().live_objects();
+        for k in 0..256u64 {
+            assert!(list.add(k));
+        }
+        for k in 0..256u64 {
+            assert!(list.remove(&k));
+        }
+        orcgc::flush_thread();
+        let live_after = orc_util::track::global().live_objects();
+        // Parallel tests add noise; the check is that ~256 nodes did not
+        // accumulate.
+        assert!(
+            live_after - live_before < 64,
+            "removed nodes leaked: {} -> {}",
+            live_before,
+            live_after
+        );
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn drop_collects_whole_list() {
+        let live_before = orc_util::track::global().live_objects();
+        {
+            let list = MichaelListOrc::new();
+            for k in 0..300u64 {
+                list.add(k);
+            }
+        }
+        orcgc::flush_thread();
+        let live_after = orc_util::track::global().live_objects();
+        assert!(
+            live_after - live_before < 64,
+            "list drop leaked nodes: {live_before} -> {live_after}"
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! TBKP — the Timnat–Braginsky–Kogan–Petrank wait-free linked list
+//! (PPoPP 2012) under OrcGC: a documented **reconstruction**.
+//!
+//! The original achieves wait-free `insert`/`delete` by announcing every
+//! operation in a per-thread `state` array of descriptors and having all
+//! threads help pending operations through the Timnat–Petrank normalized
+//! form (phase numbers, per-node success bits, a three-step delete). The
+//! full helping protocol is specified across the original paper and its
+//! technical report; this reconstruction keeps what the *OrcGC evaluation*
+//! depends on and simplifies the rest:
+//!
+//! * **kept** — wait-free `contains` (single pass, walks through marked
+//!   and even already-unlinked nodes); per-operation descriptor objects
+//!   announced in a shared `state` array (the allocation/reclamation
+//!   pattern that makes TBKP hostile to manual schemes: descriptors and
+//!   nodes acquire multiple incoming hard links released in
+//!   interleaving-dependent order — OrcGC collects both kinds
+//!   automatically); Harris-style marked links and physical snipping.
+//! * **simplified** — `insert`/`remove` are executed lock-free by their
+//!   owning thread (announce → execute → complete) instead of the
+//!   normalized-form wait-free helping.
+//!
+//! DESIGN.md records this substitution; the benchmark role of the
+//! structure (fourth list of Figures 5–6, descriptor-heavy) is preserved.
+
+use crate::ConcurrentSet;
+use orc_util::marked::{mark, unmark};
+use orc_util::registry;
+use orcgc::{make_orc, OrcAtomic, OrcPtr};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+struct Node<K: Send + Sync> {
+    key: K,
+    next: OrcAtomic<Node<K>>,
+}
+
+const OP_INSERT: u8 = 0;
+const OP_DELETE: u8 = 1;
+const PENDING: u8 = 2;
+const SUCCESS: u8 = 3;
+const FAILURE: u8 = 4;
+
+/// Announced operation descriptor (reclaimed by OrcGC once superseded).
+struct OpDesc<K: Send + Sync> {
+    #[allow(dead_code)]
+    op: u8,
+    #[allow(dead_code)]
+    key: K,
+    outcome: AtomicU8,
+    /// The node being inserted (insert ops); the hard link pins the node's
+    /// lifetime to the announcement (never read back by this
+    /// reconstruction, but part of the original's descriptor layout).
+    #[allow(dead_code)]
+    node: OrcAtomic<Node<K>>,
+}
+
+struct Window<K: Send + Sync> {
+    found: bool,
+    prev: OrcPtr<Node<K>>,
+    curr: OrcPtr<Node<K>>,
+}
+
+/// TBKP wait-free-lookup list (reconstruction) with OrcGC.
+pub struct TbkpListOrc<K: Send + Sync> {
+    head: OrcAtomic<Node<K>>,
+    state: Box<[OrcAtomic<OpDesc<K>>]>,
+}
+
+impl<K> TbkpListOrc<K>
+where
+    K: Ord + Copy + Send + Sync + 'static,
+{
+    pub fn new() -> Self {
+        Self {
+            head: OrcAtomic::null(),
+            state: (0..registry::max_threads())
+                .map(|_| OrcAtomic::null())
+                .collect(),
+        }
+    }
+
+    fn link_of<'a>(&'a self, node: &'a OrcPtr<Node<K>>) -> &'a OrcAtomic<Node<K>> {
+        match node.as_ref() {
+            None => &self.head,
+            Some(n) => &n.next,
+        }
+    }
+
+    fn find(&self, key: &K) -> Window<K> {
+        'retry: loop {
+            let mut prev: OrcPtr<Node<K>> = OrcPtr::null();
+            let mut curr = self.head.load();
+            loop {
+                let Some(cnode) = curr.as_ref() else {
+                    return Window {
+                        found: false,
+                        prev,
+                        curr,
+                    };
+                };
+                let next = cnode.next.load();
+                if self.link_of(&prev).load_raw() != unmark(curr.raw()) {
+                    continue 'retry;
+                }
+                if next.is_marked() {
+                    if !self.link_of(&prev).cas_tagged(unmark(curr.raw()), &next, 0) {
+                        continue 'retry;
+                    }
+                    curr = next;
+                } else {
+                    if &cnode.key >= key {
+                        return Window {
+                            found: &cnode.key == key,
+                            prev,
+                            curr,
+                        };
+                    }
+                    prev = curr;
+                    curr = next;
+                }
+            }
+        }
+    }
+
+    /// Announce `desc` in our state slot; the previous descriptor loses its
+    /// hard link and is collected once unreferenced.
+    fn announce(&self, desc: &OrcPtr<OpDesc<K>>) {
+        let tid = registry::tid();
+        self.state[tid].store(desc);
+    }
+
+    fn complete(desc: &OrcPtr<OpDesc<K>>, ok: bool) {
+        desc.outcome
+            .store(if ok { SUCCESS } else { FAILURE }, Ordering::SeqCst);
+    }
+
+    pub fn add(&self, key: K) -> bool {
+        let node = make_orc(Node {
+            key,
+            next: OrcAtomic::null(),
+        });
+        let desc = make_orc(OpDesc {
+            op: OP_INSERT,
+            key,
+            outcome: AtomicU8::new(PENDING),
+            node: OrcAtomic::new(&node),
+        });
+        self.announce(&desc);
+        let ok = loop {
+            let w = self.find(&key);
+            if w.found {
+                break false;
+            }
+            node.next.store_tagged(&w.curr, 0);
+            if self
+                .link_of(&w.prev)
+                .cas_tagged(unmark(w.curr.raw()), &node, 0)
+            {
+                break true;
+            }
+        };
+        Self::complete(&desc, ok);
+        ok
+    }
+
+    pub fn remove(&self, key: &K) -> bool {
+        let desc = make_orc(OpDesc {
+            op: OP_DELETE,
+            key: *key,
+            outcome: AtomicU8::new(PENDING),
+            node: OrcAtomic::null(),
+        });
+        self.announce(&desc);
+        let ok = loop {
+            let w = self.find(key);
+            if !w.found {
+                break false;
+            }
+            let node = w.curr.as_ref().unwrap();
+            let next = node.next.load();
+            if next.is_marked() {
+                continue;
+            }
+            if !node.next.cas_tag_only(next.raw(), mark(next.raw())) {
+                continue;
+            }
+            if !self
+                .link_of(&w.prev)
+                .cas_tagged(unmark(w.curr.raw()), &next, 0)
+            {
+                let _ = self.find(key);
+            }
+            break true;
+        };
+        Self::complete(&desc, ok);
+        ok
+    }
+
+    /// Wait-free membership test (single pass, never restarts).
+    pub fn contains(&self, key: &K) -> bool {
+        let mut curr = self.head.load();
+        loop {
+            let Some(node) = curr.as_ref() else {
+                return false;
+            };
+            if &node.key >= key {
+                return &node.key == key && !orc_util::marked::is_marked(node.next.load_raw());
+            }
+            curr = node.next.load();
+        }
+    }
+
+    /// Unmarked-node count; quiescent callers only.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut curr = self.head.load();
+        while let Some(node) = curr.as_ref() {
+            let next = node.next.load();
+            if !next.is_marked() {
+                n += 1;
+            }
+            curr = next;
+        }
+        n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Ord + Copy + Send + Sync + 'static> Default for TbkpListOrc<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> ConcurrentSet<K> for TbkpListOrc<K>
+where
+    K: Ord + Copy + Send + Sync + 'static,
+{
+    fn add(&self, key: K) -> bool {
+        TbkpListOrc::add(self, key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        TbkpListOrc::remove(self, key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        TbkpListOrc::contains(self, key)
+    }
+
+    fn name(&self) -> &'static str {
+        "TBKPList-OrcGC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::set_tests;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics() {
+        set_tests::sequential_semantics(&TbkpListOrc::new());
+    }
+
+    #[test]
+    fn randomized_model_check() {
+        set_tests::randomized_against_model(&TbkpListOrc::new(), 17, 5_000);
+    }
+
+    #[test]
+    fn disjoint_stress() {
+        set_tests::disjoint_key_stress(Arc::new(TbkpListOrc::new()), 4);
+    }
+
+    #[test]
+    fn contended_stress() {
+        set_tests::contended_key_stress(Arc::new(TbkpListOrc::new()), 4);
+    }
+
+    #[test]
+    fn descriptors_are_collected_not_accumulated() {
+        let live_before = orc_util::track::global().live_objects();
+        {
+            let list = TbkpListOrc::new();
+            // 2k ops => 2k descriptors; all but the last announcement per
+            // thread must be collected.
+            for k in 0..1_000u64 {
+                list.add(k % 50);
+                list.remove(&(k % 50));
+            }
+        }
+        orcgc::flush_thread();
+        let live_after = orc_util::track::global().live_objects();
+        assert!(
+            live_after - live_before < 64,
+            "descriptors leaked: {live_before} -> {live_after}"
+        );
+    }
+}

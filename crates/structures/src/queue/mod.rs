@@ -1,0 +1,25 @@
+//! The four queues of the paper's Figures 1–2.
+//!
+//! * [`MsQueue`] / [`MsQueueOrc`] — Michael & Scott 1996; the manual
+//!   variant is the classic hazard-pointer deployment, the Orc variant is
+//!   the paper's Algorithm 1 verbatim.
+//! * [`LcrqOrc`] — Morrison & Afek 2013: ring segments updated with DWCAS,
+//!   segments reclaimed by OrcGC.
+//! * [`KpQueueOrc`] — Kogan & Petrank 2011 wait-free queue. Its helping
+//!   descriptors and interleaving-dependent unlinking make it incompatible
+//!   with the manual schemes (paper §2, first obstacle) — OrcGC reclaims
+//!   both nodes and descriptors automatically.
+//! * [`TurnQueueOrc`] — the Correia–Ramalhete wait-free "turn" queue,
+//!   reconstructed from its published description (see module docs).
+
+mod kpqueue;
+mod lcrq;
+mod msqueue;
+mod msqueue_orc;
+mod turnqueue;
+
+pub use kpqueue::KpQueueOrc;
+pub use lcrq::LcrqOrc;
+pub use msqueue::MsQueue;
+pub use msqueue_orc::MsQueueOrc;
+pub use turnqueue::TurnQueueOrc;

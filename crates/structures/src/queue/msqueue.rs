@@ -1,0 +1,275 @@
+//! Michael–Scott queue under a manual reclamation scheme.
+//!
+//! The classic two-hazard-pointer deployment (Michael 2004, Figure 5): one
+//! slot protects the head/tail snapshot, a second protects `next` during
+//! dequeue. `retire` is called on the old sentinel after a successful head
+//! swing — the one place the MS queue makes a node unreachable.
+
+use crate::ConcurrentQueue;
+use reclaim::{as_word, Smr};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+struct Node<T> {
+    item: UnsafeCell<Option<T>>,
+    next: AtomicPtr<Node<T>>,
+}
+
+unsafe impl<T: Send> Sync for Node<T> {}
+unsafe impl<T: Send> Send for Node<T> {}
+
+impl<T> Node<T> {
+    fn new(item: Option<T>) -> Self {
+        Self {
+            item: UnsafeCell::new(item),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+}
+
+/// Michael–Scott MPMC queue, generic over the reclamation scheme.
+pub struct MsQueue<T, S: Smr> {
+    head: AtomicPtr<Node<T>>,
+    tail: AtomicPtr<Node<T>>,
+    smr: S,
+}
+
+unsafe impl<T: Send, S: Smr> Sync for MsQueue<T, S> {}
+unsafe impl<T: Send, S: Smr> Send for MsQueue<T, S> {}
+
+impl<T: Send, S: Smr> MsQueue<T, S> {
+    pub fn new(smr: S) -> Self {
+        let sentinel = smr.alloc(Node::new(None));
+        Self {
+            head: AtomicPtr::new(sentinel),
+            tail: AtomicPtr::new(sentinel),
+            smr,
+        }
+    }
+
+    /// The scheme instance (for flushing/metrics in benches).
+    pub fn smr(&self) -> &S {
+        &self.smr
+    }
+
+    pub fn enqueue(&self, item: T) {
+        let node = self.smr.alloc(Node::new(Some(item)));
+        self.smr.begin_op();
+        loop {
+            let ltail = self.smr.protect_ptr(0, &self.tail);
+            let lnext = unsafe { (*ltail).next.load(Ordering::SeqCst) };
+            if self.tail.load(Ordering::SeqCst) != ltail {
+                continue;
+            }
+            if lnext.is_null() {
+                if unsafe { &(*ltail).next }
+                    .compare_exchange(
+                        std::ptr::null_mut(),
+                        node,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    let _ =
+                        self.tail
+                            .compare_exchange(ltail, node, Ordering::SeqCst, Ordering::SeqCst);
+                    break;
+                }
+            } else {
+                let _ =
+                    self.tail
+                        .compare_exchange(ltail, lnext, Ordering::SeqCst, Ordering::SeqCst);
+            }
+        }
+        self.smr.end_op();
+    }
+
+    pub fn dequeue(&self) -> Option<T> {
+        self.smr.begin_op();
+        let result = loop {
+            let lhead = self.smr.protect_ptr(0, &self.head);
+            let lnext = self.smr.protect(1, as_word(unsafe { &(*lhead).next })) as *mut Node<T>;
+            if self.head.load(Ordering::SeqCst) != lhead {
+                continue;
+            }
+            if lnext.is_null() {
+                break None;
+            }
+            let ltail = self.tail.load(Ordering::SeqCst);
+            if lhead == ltail {
+                // Tail is lagging: help swing it before the head passes it.
+                let _ =
+                    self.tail
+                        .compare_exchange(ltail, lnext, Ordering::SeqCst, Ordering::SeqCst);
+                continue;
+            }
+            if self
+                .head
+                .compare_exchange(lhead, lnext, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // We won: lnext is the new sentinel and its item is ours
+                // exclusively (still protected by slot 1).
+                let item = unsafe { (*(*lnext).item.get()).take() };
+                unsafe { self.smr.retire(lhead) };
+                break item;
+            }
+        };
+        self.smr.end_op();
+        result
+    }
+}
+
+impl<T: Send, S: Smr> ConcurrentQueue<T> for MsQueue<T, S> {
+    fn enqueue(&self, item: T) {
+        MsQueue::enqueue(self, item)
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        MsQueue::dequeue(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "MSQueue"
+    }
+}
+
+impl<T, S: Smr> Drop for MsQueue<T, S> {
+    fn drop(&mut self) {
+        // Exclusive access: walk and free every node, sentinel included.
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            let next = unsafe { (*p).next.load(Ordering::Relaxed) };
+            unsafe { self.smr.dealloc_now(p) };
+            p = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer};
+    use std::sync::Arc;
+
+    fn fifo_smoke<S: Smr>(smr: S) {
+        let q = MsQueue::new(smr);
+        assert_eq!(q.dequeue(), None);
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+        q.smr().flush();
+    }
+
+    #[test]
+    fn fifo_under_every_scheme() {
+        fifo_smoke(HazardPointers::new());
+        fifo_smoke(PassThePointer::new());
+        fifo_smoke(PassTheBuck::new());
+        fifo_smoke(HazardEras::new());
+        fifo_smoke(Ebr::new());
+        fifo_smoke(Leaky::new());
+    }
+
+    #[test]
+    fn drop_frees_residual_nodes() {
+        struct Probe(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        {
+            let q = MsQueue::new(HazardPointers::new());
+            for _ in 0..10 {
+                q.enqueue(Probe(drops.clone()));
+            }
+            let _ = q.dequeue();
+        }
+        assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 10);
+    }
+
+    fn mpmc_stress<S: Smr + Clone>(smr: S, name: &str) {
+        let q = Arc::new(MsQueue::new(smr));
+        let producers = 2;
+        let consumers = 2;
+        let per = 10_000u64;
+        let total: u64 = (0..producers as u64 * per).sum();
+        let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    q.enqueue(p as u64 * per + i);
+                }
+            }));
+        }
+        for _ in 0..consumers {
+            let q = q.clone();
+            let sum = sum.clone();
+            let got = got.clone();
+            handles.push(std::thread::spawn(move || {
+                let want = producers as u64 * per;
+                while got.load(Ordering::SeqCst) < want {
+                    if let Some(v) = q.dequeue() {
+                        sum.fetch_add(v, Ordering::SeqCst);
+                        got.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            sum.load(Ordering::SeqCst),
+            total,
+            "{name}: dequeued-sum mismatch (lost or duplicated items)"
+        );
+        assert_eq!(q.dequeue(), None);
+        q.smr().flush();
+    }
+
+    #[test]
+    fn mpmc_stress_hp() {
+        mpmc_stress(HazardPointers::new(), "HP");
+    }
+
+    #[test]
+    fn mpmc_stress_ptp() {
+        mpmc_stress(PassThePointer::new(), "PTP");
+    }
+
+    #[test]
+    fn mpmc_stress_ptb() {
+        mpmc_stress(PassTheBuck::new(), "PTB");
+    }
+
+    #[test]
+    fn mpmc_stress_he() {
+        mpmc_stress(HazardEras::new(), "HE");
+    }
+
+    #[test]
+    fn mpmc_stress_ebr() {
+        mpmc_stress(Ebr::new(), "EBR");
+    }
+
+    #[test]
+    fn no_leaks_after_stress_with_hp() {
+        let hp = HazardPointers::new();
+        mpmc_stress(hp.clone(), "HP-leakcheck");
+        hp.flush();
+        assert_eq!(hp.unreclaimed(), 0);
+    }
+}

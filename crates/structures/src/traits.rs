@@ -1,0 +1,25 @@
+//! Uniform interfaces over all structures, so the benchmark harness can
+//! sweep (structure × scheme × workload) combinations generically.
+
+/// A concurrent multi-producer multi-consumer FIFO queue.
+pub trait ConcurrentQueue<T>: Send + Sync {
+    /// Appends `item` at the tail.
+    fn enqueue(&self, item: T);
+    /// Removes and returns the head item, or `None` when empty.
+    fn dequeue(&self) -> Option<T>;
+    /// The structure's display name (figure legends).
+    fn name(&self) -> &'static str;
+}
+
+/// A concurrent set of ordered keys (the paper's list/tree/skip-list
+/// benchmarks all use integer-keyed sets).
+pub trait ConcurrentSet<K>: Send + Sync {
+    /// Inserts `key`; `false` if already present.
+    fn add(&self, key: K) -> bool;
+    /// Removes `key`; `false` if absent.
+    fn remove(&self, key: &K) -> bool;
+    /// Membership test.
+    fn contains(&self, key: &K) -> bool;
+    /// The structure's display name (figure legends).
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,47 @@
+//! The Natarajan–Mittal lock-free external BST (PPoPP 2014) — the "NM-tree"
+//! of the paper's Figures 7–8 — in a manual-scheme generic variant
+//! ([`NmTree`]) and an OrcGC-annotated variant ([`NmTreeOrc`]).
+//!
+//! External BST: keys live at the leaves, internal nodes route. Deletion
+//! *flags* the edge to the victim leaf and *tags* the sibling edge, then
+//! swings the grandparent ("ancestor") edge over both — helping threads
+//! complete half-done deletions they trip over.
+
+mod nmtree;
+mod nmtree_orc;
+
+pub use nmtree::NmTree;
+pub use nmtree_orc::NmTreeOrc;
+
+/// Key wrapper adding the three infinity sentinels of the NM-tree
+/// construction (`inf0 < inf1 < inf2`, all greater than any finite key).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) enum SKey<K: Ord + Copy> {
+    Fin(K),
+    Inf0,
+    Inf1,
+    Inf2,
+}
+
+impl<K: Ord + Copy> SKey<K> {
+    #[inline]
+    pub(crate) fn fin(&self) -> Option<&K> {
+        match self {
+            SKey::Fin(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod skey_tests {
+    use super::SKey;
+
+    #[test]
+    fn infinities_dominate_all_finite_keys() {
+        assert!(SKey::Fin(u64::MAX) < SKey::Inf0);
+        assert!(SKey::<u64>::Inf0 < SKey::Inf1);
+        assert!(SKey::<u64>::Inf1 < SKey::Inf2);
+        assert!(SKey::Fin(0u64) < SKey::Fin(1u64));
+    }
+}

@@ -1,0 +1,105 @@
+//! Aggressive hunt for NM-tree races under the manual schemes: repeated
+//! disjoint-range rounds at adjacent boundaries (shared parents).
+use reclaim::{HazardPointers, PassThePointer, Smr};
+use std::sync::Arc;
+use structures::tree::NmTree;
+
+fn run_iter<S: Smr>(set: &Arc<NmTree<u64, S>>, it: usize) {
+    let threads = 4;
+    let per = 64u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let set = set.clone();
+            std::thread::spawn(move || {
+                let base = t as u64 * per;
+                for round in 0..8 {
+                    for k in base..base + per {
+                        assert!(set.add(k), "it{it} round{round}: add({k}) failed");
+                    }
+                    for k in base..base + per {
+                        assert!(set.contains(&k), "it{it} round{round}: contains({k})");
+                    }
+                    for k in base..base + per {
+                        assert!(set.remove(&k), "it{it} round{round}: remove({k})");
+                    }
+                    for k in base..base + per {
+                        assert!(!set.contains(&k), "it{it} round{round}: gone({k})");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn hunt_hp() {
+    for it in 0..30 {
+        let set = Arc::new(NmTree::new(HazardPointers::new()));
+        run_iter(&set, it);
+    }
+}
+
+#[test]
+fn hunt_ptp() {
+    for it in 0..30 {
+        let set = Arc::new(NmTree::new(PassThePointer::new()));
+        run_iter(&set, it);
+    }
+}
+
+#[test]
+fn hunt_orc() {
+    use structures::tree::NmTreeOrc;
+    for it in 0..30 {
+        let set = Arc::new(NmTreeOrc::new());
+        let threads = 4;
+        let per = 64u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let set = set.clone();
+                std::thread::spawn(move || {
+                    let base = t as u64 * per;
+                    for round in 0..8 {
+                        for k in base..base + per {
+                            assert!(set.add(k), "it{it} round{round}: add({k}) failed");
+                        }
+                        for k in base..base + per {
+                            assert!(set.contains(&k), "it{it} round{round}: contains({k})");
+                        }
+                        for k in base..base + per {
+                            assert!(set.remove(&k), "it{it} round{round}: remove({k})");
+                        }
+                        for k in base..base + per {
+                            assert!(!set.contains(&k), "it{it} round{round}: gone({k})");
+                        }
+                    }
+                    orcgc::flush_thread();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}
+
+#[test]
+fn hunt_leaky() {
+    use reclaim::Leaky;
+    for it in 0..30 {
+        let set = Arc::new(NmTree::new(Leaky::new()));
+        run_iter(&set, it);
+    }
+}
+
+#[test]
+fn hunt_ebr() {
+    use reclaim::Ebr;
+    for it in 0..30 {
+        let set = Arc::new(NmTree::new(Ebr::new()));
+        run_iter(&set, it);
+    }
+}

@@ -1,0 +1,51 @@
+//! Release-mode hunt for PTB (and HE) races under the Michael list.
+use reclaim::{HazardEras, PassTheBuck, Smr};
+use std::sync::Arc;
+use structures::list::MichaelList;
+
+#[test]
+fn hunt_ptb() {
+    for _ in 0..3 {
+        let set = Arc::new(MichaelList::new(PassTheBuck::new()));
+        hammer_one(set);
+    }
+}
+
+#[test]
+fn hunt_he() {
+    for _ in 0..3 {
+        let set = Arc::new(MichaelList::new(HazardEras::new()));
+        hammer_one(set);
+    }
+}
+
+fn hammer_one<S: Smr>(set: Arc<MichaelList<u64, S>>) {
+    for k in 0..250u64 {
+        set.add(k * 2);
+    }
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let set = set.clone();
+            std::thread::spawn(move || {
+                let mut rng = orc_util::rng::XorShift64::for_thread(t, 7);
+                for _ in 0..30_000 {
+                    let k = rng.next_bounded(500);
+                    match rng.next_bounded(10) {
+                        0..=4 => {
+                            set.add(k);
+                        }
+                        5..=8 => {
+                            set.remove(&k);
+                        }
+                        _ => {
+                            set.contains(&k);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

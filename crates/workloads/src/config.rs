@@ -1,0 +1,85 @@
+//! Environment-tunable benchmark configuration.
+//!
+//! The paper's full evaluation takes ~30 hours (Appendix A); defaults here
+//! are scaled so `cargo bench` completes in minutes on a small machine
+//! while preserving the comparisons' *shape*. Every knob can be restored
+//! to paper scale through environment variables:
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `ORC_BENCH_THREADS` | comma list of thread counts to sweep | `1,2,4,8` |
+//! | `ORC_BENCH_OPS` | enq/deq pairs per queue data point | `200000` (paper: 10⁷) |
+//! | `ORC_BENCH_SECONDS` | seconds per set data point | `0.4` (paper: 20 × 5 runs) |
+//! | `ORC_BENCH_KEYS_SMALL` | key range for list benches | `1000` (paper: 10³) |
+//! | `ORC_BENCH_KEYS_LARGE` | key range for tree/skip-list benches | `100000` (paper: 10⁶) |
+//! | `ORC_BENCH_RUNS` | repetitions per point (mean reported) | `1` (paper: 5) |
+
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    pub threads: Vec<usize>,
+    pub queue_pairs: u64,
+    pub seconds_per_point: Duration,
+    pub keys_small: u64,
+    pub keys_large: u64,
+    pub runs: usize,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl BenchConfig {
+    pub fn from_env() -> Self {
+        let threads = std::env::var("ORC_BENCH_THREADS")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| vec![1, 2, 4, 8]);
+        Self {
+            threads,
+            queue_pairs: env_u64("ORC_BENCH_OPS", 200_000),
+            seconds_per_point: Duration::from_secs_f64(env_f64("ORC_BENCH_SECONDS", 0.4)),
+            keys_small: env_u64("ORC_BENCH_KEYS_SMALL", 1_000),
+            keys_large: env_u64("ORC_BENCH_KEYS_LARGE", 100_000),
+            runs: env_u64("ORC_BENCH_RUNS", 1) as usize,
+        }
+    }
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = BenchConfig::from_env();
+        assert!(!c.threads.is_empty());
+        assert!(c.queue_pairs > 0);
+        assert!(c.seconds_per_point > Duration::ZERO);
+        assert!(c.keys_small >= 2);
+        assert!(c.keys_large >= c.keys_small);
+        assert!(c.runs >= 1);
+    }
+}

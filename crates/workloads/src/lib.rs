@@ -1,0 +1,24 @@
+//! Benchmark harness for the OrcGC reproduction.
+//!
+//! Provides everything the per-figure bench targets share:
+//!
+//! * [`throughput`] — multi-threaded run loops for queues (enq/deq pairs,
+//!   Figures 1–2) and sets (read/write mixes over a key range,
+//!   Figures 3–8), with monotonic-clock timing and per-thread op counts.
+//! * [`config`] — environment-variable–tunable parameters
+//!   (`ORC_BENCH_THREADS`, `ORC_BENCH_OPS`, `ORC_BENCH_SECONDS`,
+//!   `ORC_BENCH_KEYS`, `ORC_BENCH_RUNS`), defaulting to laptop-scale values.
+//! * [`record`] — result records, JSON-lines output and aligned tables.
+//! * [`memprobe`] — process RSS plus the exact live-object/byte counters
+//!   every scheme feeds (for the §5 memory experiment).
+//! * [`bound`] — the stalled-reader adversary that measures each scheme's
+//!   maximum retired-but-unreclaimed backlog (the empirical Table 1).
+
+pub mod bound;
+pub mod config;
+pub mod memprobe;
+pub mod record;
+pub mod throughput;
+
+pub use config::BenchConfig;
+pub use record::{print_header, print_row, Measurement};

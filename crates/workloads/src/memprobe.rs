@@ -1,0 +1,77 @@
+//! Memory probes for the §5 footprint experiment (HS-skip ≈19 GB vs
+//! CRF-skip <1 GB on the paper's machines).
+//!
+//! Two complementary measurements:
+//!
+//! * **Exact tracked bytes** — every scheme in this workspace reports its
+//!   allocations to [`orc_util::track`], so live-object/byte deltas are
+//!   precise and allocator-independent (what the paper *means*).
+//! * **Process RSS** — read from `/proc/self/statm` (what the paper
+//!   *measured*); noisy but included for fidelity.
+
+use orc_util::track;
+
+/// Resident set size in bytes, or 0 when `/proc` is unavailable.
+pub fn rss_bytes() -> u64 {
+    let Ok(statm) = std::fs::read_to_string("/proc/self/statm") else {
+        return 0;
+    };
+    let Some(resident_pages) = statm.split_whitespace().nth(1) else {
+        return 0;
+    };
+    let Ok(pages): Result<u64, _> = resident_pages.parse() else {
+        return 0;
+    };
+    let page = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    pages * page.max(0) as u64
+}
+
+/// Snapshot of both memory views.
+#[derive(Debug, Clone, Copy)]
+pub struct MemSnapshot {
+    pub live_objects: i64,
+    pub live_bytes: i64,
+    pub rss: u64,
+}
+
+pub fn snapshot() -> MemSnapshot {
+    let s = track::global().snapshot();
+    MemSnapshot {
+        live_objects: s.live_objects,
+        live_bytes: s.live_bytes,
+        rss: rss_bytes(),
+    }
+}
+
+impl MemSnapshot {
+    /// Tracked-byte growth since `base`.
+    pub fn bytes_since(&self, base: &MemSnapshot) -> i64 {
+        self.live_bytes - base.live_bytes
+    }
+
+    pub fn objects_since(&self, base: &MemSnapshot) -> i64 {
+        self.live_objects - base.live_objects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_nonzero_on_linux() {
+        assert!(rss_bytes() > 0, "/proc/self/statm should be readable");
+    }
+
+    #[test]
+    fn snapshot_deltas_track_allocations() {
+        // ≤ MAX_HPS guards may be live per thread; stay well below.
+        let base = snapshot();
+        let guards: Vec<_> = (0..50).map(|i| orcgc::make_orc([i as u8; 64])).collect();
+        let grown = snapshot();
+        assert!(grown.objects_since(&base) >= 50);
+        assert!(grown.bytes_since(&base) >= 50 * 64);
+        drop(guards);
+        orcgc::flush_thread();
+    }
+}

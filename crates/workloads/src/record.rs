@@ -1,0 +1,153 @@
+//! Benchmark result records and output.
+//!
+//! Each data point becomes a [`Measurement`]; bench binaries print an
+//! aligned human-readable table (mirroring the paper's figure series) and
+//! can dump JSON lines for plotting.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::time::Duration;
+
+/// One benchmark data point (one figure series entry).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Which experiment (e.g. "fig1-queues").
+    pub experiment: String,
+    /// Series label (structure and/or scheme, as in the figure legend).
+    pub series: String,
+    /// Workload label (e.g. "50i-50r", "enq-deq-pairs").
+    pub workload: String,
+    pub threads: usize,
+    pub ops: u64,
+    pub elapsed_s: f64,
+    /// Million operations per second.
+    pub mops: f64,
+    /// Optional memory metric (bytes) for the footprint experiments.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub mem_bytes: Option<i64>,
+    /// Optional unreclaimed-objects metric for the bound experiments.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub max_unreclaimed: Option<i64>,
+}
+
+impl Measurement {
+    pub fn new(
+        experiment: &str,
+        series: &str,
+        workload: &str,
+        threads: usize,
+        ops: u64,
+        elapsed: Duration,
+    ) -> Self {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        Self {
+            experiment: experiment.to_string(),
+            series: series.to_string(),
+            workload: workload.to_string(),
+            threads,
+            ops,
+            elapsed_s: secs,
+            mops: ops as f64 / secs / 1e6,
+            mem_bytes: None,
+            max_unreclaimed: None,
+        }
+    }
+
+    pub fn with_mem(mut self, bytes: i64) -> Self {
+        self.mem_bytes = Some(bytes);
+        self
+    }
+
+    pub fn with_unreclaimed(mut self, n: i64) -> Self {
+        self.max_unreclaimed = Some(n);
+        self
+    }
+
+    pub fn json(&self) -> String {
+        serde_json::to_string(self).expect("measurement serializes")
+    }
+}
+
+/// Prints the table header for a figure.
+pub fn print_header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!(
+        "{:<28} {:<12} {:>7} {:>12} {:>10} {:>12} {:>12}",
+        "series", "workload", "threads", "ops", "Mops/s", "mem", "unreclaimed"
+    );
+}
+
+/// Prints one measurement row, aligned under [`print_header`].
+pub fn print_row(m: &Measurement) {
+    let mem = m
+        .mem_bytes
+        .map(human_bytes)
+        .unwrap_or_else(|| "-".to_string());
+    let unr = m
+        .max_unreclaimed
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| "-".to_string());
+    println!(
+        "{:<28} {:<12} {:>7} {:>12} {:>10.3} {:>12} {:>12}",
+        m.series, m.workload, m.threads, m.ops, m.mops, mem, unr
+    );
+    let _ = std::io::stdout().flush();
+}
+
+/// Appends JSON lines to `$ORC_BENCH_JSON` if set.
+pub fn maybe_dump_json(ms: &[Measurement]) {
+    if let Ok(path) = std::env::var("ORC_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            for m in ms {
+                let _ = writeln!(f, "{}", m.json());
+            }
+        }
+    }
+}
+
+fn human_bytes(b: i64) -> String {
+    let abs = b.unsigned_abs() as f64;
+    let sign = if b < 0 { "-" } else { "" };
+    if abs >= 1e9 {
+        format!("{sign}{:.2}GB", abs / 1e9)
+    } else if abs >= 1e6 {
+        format!("{sign}{:.2}MB", abs / 1e6)
+    } else if abs >= 1e3 {
+        format!("{sign}{:.1}KB", abs / 1e3)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mops_math() {
+        let m = Measurement::new("e", "s", "w", 4, 2_000_000, Duration::from_secs(2));
+        assert!((m.mops - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = Measurement::new("e", "s", "w", 1, 10, Duration::from_millis(5)).with_mem(1024);
+        let back: Measurement = serde_json::from_str(&m.json()).unwrap();
+        assert_eq!(back.series, "s");
+        assert_eq!(back.mem_bytes, Some(1024));
+        assert_eq!(back.max_unreclaimed, None);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2_048), "2.0KB");
+        assert_eq!(human_bytes(3_000_000), "3.00MB");
+        assert_eq!(human_bytes(19_000_000_000), "19.00GB");
+    }
+}

@@ -1,0 +1,204 @@
+//! Multi-threaded throughput measurement loops.
+//!
+//! * [`queue_pairs`] — the Figures 1–2 workload: every thread alternates
+//!   enqueue/dequeue until the global pair budget is exhausted.
+//! * [`set_mix`] — the Figures 3–8 workload: each thread draws uniform
+//!   keys from the range and applies the (insert, remove, lookup) mix for
+//!   a fixed duration. The structure is prefilled to half the key range,
+//!   as in the paper's artifact.
+
+use crate::record::Measurement;
+use orc_util::rng::XorShift64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use structures::{ConcurrentQueue, ConcurrentSet};
+
+/// Read/write mix: permille of inserts and removes (rest are lookups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    pub insert_pm: u64,
+    pub remove_pm: u64,
+}
+
+impl Mix {
+    /// The paper's three list/tree workloads.
+    pub const WRITE_HEAVY: Mix = Mix {
+        insert_pm: 500,
+        remove_pm: 500,
+    }; // 50i/50r
+    pub const MIXED: Mix = Mix {
+        insert_pm: 50,
+        remove_pm: 50,
+    }; // 5i/5r/90l
+    pub const READ_ONLY: Mix = Mix {
+        insert_pm: 0,
+        remove_pm: 0,
+    }; // 100l
+
+    pub fn label(&self) -> &'static str {
+        if *self == Mix::WRITE_HEAVY {
+            "50i-50r"
+        } else if *self == Mix::MIXED {
+            "5i-5r-90l"
+        } else if *self == Mix::READ_ONLY {
+            "100l"
+        } else {
+            "custom"
+        }
+    }
+}
+
+/// Figures 1–2 workload: `pairs` enqueue/dequeue pairs split across
+/// `threads` threads; returns ops (= 2 × pairs completed) over wall time.
+pub fn queue_pairs<Q: ConcurrentQueue<u64> + 'static>(
+    experiment: &str,
+    series: &str,
+    queue: Arc<Q>,
+    threads: usize,
+    pairs: u64,
+) -> Measurement {
+    let per_thread = pairs / threads as u64;
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let queue = queue.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..per_thread {
+                    queue.enqueue(t as u64 * per_thread + i);
+                    // Tolerate transient emptiness from sibling dequeues.
+                    while queue.dequeue().is_none() {
+                        std::hint::spin_loop();
+                    }
+                }
+                orcgc::flush_thread();
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let ops = per_thread * threads as u64 * 2;
+    Measurement::new(experiment, series, "enq-deq-pairs", threads, ops, elapsed)
+}
+
+/// Prefills `set` with every other key of `0..key_range` (half full), as
+/// the paper's set benchmarks do. Keys are inserted in shuffled order —
+/// essential for the (unbalanced) external BST, which degenerates to a
+/// linked list under sorted insertion.
+pub fn prefill_set<S: ConcurrentSet<u64> + ?Sized>(set: &S, key_range: u64) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut keys: Vec<u64> = (0..key_range).step_by(2).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x07C6C ^ key_range);
+    keys.shuffle(&mut rng);
+    for k in keys {
+        set.add(k);
+    }
+}
+
+/// Figures 3–8 workload: run the mix for `duration`, all threads pounding
+/// uniform random keys in `0..key_range`.
+pub fn set_mix<S: ConcurrentSet<u64> + 'static>(
+    experiment: &str,
+    series: &str,
+    set: Arc<S>,
+    threads: usize,
+    key_range: u64,
+    mix: Mix,
+    duration: Duration,
+) -> Measurement {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let set = set.clone();
+            let stop = stop.clone();
+            let total_ops = total_ops.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut rng = XorShift64::for_thread(t, 0xBE7C4);
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Batch between stop-flag checks to keep loop overhead low.
+                    for _ in 0..64 {
+                        let key = rng.next_bounded(key_range);
+                        let dice = rng.next_bounded(1000);
+                        if dice < mix.insert_pm {
+                            set.add(key);
+                        } else if dice < mix.insert_pm + mix.remove_pm {
+                            set.remove(&key);
+                        } else {
+                            set.contains(&key);
+                        }
+                    }
+                    ops += 64;
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+                orcgc::flush_thread();
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    Measurement::new(
+        experiment,
+        series,
+        mix.label(),
+        threads,
+        total_ops.load(Ordering::Relaxed),
+        elapsed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use structures::list::MichaelListOrc;
+    use structures::queue::MsQueueOrc;
+
+    #[test]
+    fn queue_pairs_complete_and_balance() {
+        let q = Arc::new(MsQueueOrc::new());
+        let m = queue_pairs("t", "ms", q.clone(), 2, 2_000);
+        assert_eq!(m.ops, 4_000);
+        assert!(m.mops > 0.0);
+        assert_eq!(q.dequeue(), None, "paired workload must drain the queue");
+    }
+
+    #[test]
+    fn set_mix_runs_and_counts() {
+        let set = Arc::new(MichaelListOrc::new());
+        prefill_set(&*set, 64);
+        let m = set_mix("t", "ml", set, 2, 64, Mix::MIXED, Duration::from_millis(50));
+        assert!(m.ops > 0);
+        assert_eq!(m.workload, "5i-5r-90l");
+    }
+
+    #[test]
+    fn prefill_is_half_full() {
+        let set = MichaelListOrc::new();
+        prefill_set(&set, 100);
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn mix_labels() {
+        assert_eq!(Mix::WRITE_HEAVY.label(), "50i-50r");
+        assert_eq!(Mix::MIXED.label(), "5i-5r-90l");
+        assert_eq!(Mix::READ_ONLY.label(), "100l");
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration: every (structure × scheme) combination must
+//! implement the same abstract set/queue, byte for byte.
+
+use orcgc_suite::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use structures::list::{HarrisListOrc, HsListOrc, MichaelList, MichaelListOrc, TbkpListOrc};
+use structures::queue::{KpQueueOrc, LcrqOrc, MsQueue, MsQueueOrc, TurnQueueOrc};
+use structures::skiplist::{CrfSkipListOrc, HsSkipListOrc};
+use structures::tree::{NmTree, NmTreeOrc};
+
+/// Applies an identical randomized op sequence to every set and to a
+/// BTreeSet model; all answers must match at every step.
+fn lockstep(sets: Vec<Box<dyn ConcurrentSet<u64>>>, seed: u64, ops: usize) {
+    let mut model = BTreeSet::new();
+    let mut rng = orc_util::rng::XorShift64::new(seed);
+    for step in 0..ops {
+        let key = rng.next_bounded(128);
+        let op = rng.next_bounded(3);
+        let expected = match op {
+            0 => model.insert(key),
+            1 => model.remove(&key),
+            _ => model.contains(&key),
+        };
+        for set in &sets {
+            let got = match op {
+                0 => set.add(key),
+                1 => set.remove(&key),
+                _ => set.contains(&key),
+            };
+            assert_eq!(
+                got,
+                expected,
+                "{} diverged at step {step} (op {op}, key {key})",
+                set.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_eleven_set_variants_agree() {
+    let sets: Vec<Box<dyn ConcurrentSet<u64>>> = vec![
+        Box::new(MichaelList::new(HazardPointers::new())),
+        Box::new(MichaelList::new(PassTheBuck::new())),
+        Box::new(MichaelList::new(PassThePointer::new())),
+        Box::new(MichaelList::new(HazardEras::new())),
+        Box::new(MichaelList::new(Ebr::new())),
+        Box::new(MichaelList::new(Leaky::new())),
+        Box::new(MichaelListOrc::new()),
+        Box::new(HarrisListOrc::new()),
+        Box::new(HsListOrc::new()),
+        Box::new(TbkpListOrc::new()),
+        Box::new(NmTree::new(HazardPointers::new())),
+        Box::new(NmTree::new(PassThePointer::new())),
+        Box::new(NmTreeOrc::new()),
+        Box::new(HsSkipListOrc::new()),
+        Box::new(CrfSkipListOrc::new()),
+    ];
+    lockstep(sets, 0xFEED, 6_000);
+    orcgc::flush_thread();
+}
+
+#[test]
+fn all_queue_variants_agree() {
+    let queues: Vec<Box<dyn ConcurrentQueue<u64>>> = vec![
+        Box::new(MsQueue::new(HazardPointers::new())),
+        Box::new(MsQueue::new(PassThePointer::new())),
+        Box::new(MsQueueOrc::new()),
+        Box::new(LcrqOrc::new()),
+        Box::new(KpQueueOrc::new()),
+        Box::new(TurnQueueOrc::new()),
+    ];
+    let mut model = std::collections::VecDeque::new();
+    let mut rng = orc_util::rng::XorShift64::new(0xCAFE);
+    for _ in 0..5_000 {
+        if rng.next_bounded(2) == 0 {
+            let v = rng.next_bounded(1 << 40);
+            model.push_back(v);
+            for q in &queues {
+                q.enqueue(v);
+            }
+        } else {
+            let expected = model.pop_front();
+            for q in &queues {
+                assert_eq!(q.dequeue(), expected, "{} diverged", q.name());
+            }
+        }
+    }
+    orcgc::flush_thread();
+}
+
+#[test]
+fn mixed_structures_share_the_global_domain() {
+    // Different OrcGC structures coexisting: operations interleave in one
+    // domain without stepping on each other's hazard slots.
+    let list = Arc::new(MichaelListOrc::new());
+    let tree = Arc::new(NmTreeOrc::new());
+    let queue = Arc::new(MsQueueOrc::new());
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let list = list.clone();
+            let tree = tree.clone();
+            let queue = queue.clone();
+            std::thread::spawn(move || {
+                let mut rng = orc_util::rng::XorShift64::for_thread(t, 5);
+                for i in 0..4_000u64 {
+                    let k = rng.next_bounded(256);
+                    match i % 6 {
+                        0 => {
+                            list.add(k);
+                        }
+                        1 => {
+                            tree.add(k);
+                        }
+                        2 => {
+                            queue.enqueue(k);
+                        }
+                        3 => {
+                            list.remove(&k);
+                        }
+                        4 => {
+                            tree.remove(&k);
+                        }
+                        _ => {
+                            queue.dequeue();
+                        }
+                    }
+                }
+                orcgc::flush_thread();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) over the core invariants:
+//! the `_orc` word encoding, marked-pointer algebra, DWCAS packing, and
+//! sequential equivalence of sets/queues against model collections under
+//! arbitrary operation sequences.
+
+use orcgc::word;
+use orcgc_suite::prelude::*;
+use proptest::prelude::*;
+use structures::list::{HarrisListOrc, MichaelList, MichaelListOrc};
+use structures::queue::{LcrqOrc, MsQueueOrc};
+use structures::skiplist::CrfSkipListOrc;
+use structures::tree::NmTreeOrc;
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Add(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn set_ops(max_key: u64) -> impl Strategy<Value = Vec<SetOp>> {
+    prop::collection::vec(
+        (0u64..max_key, 0u8..3).prop_map(|(k, op)| match op {
+            0 => SetOp::Add(k),
+            1 => SetOp::Remove(k),
+            _ => SetOp::Contains(k),
+        }),
+        0..200,
+    )
+}
+
+fn check_set<S: ConcurrentSet<u64>>(set: &S, ops: &[SetOp]) {
+    let mut model = std::collections::BTreeSet::new();
+    for op in ops {
+        match op {
+            SetOp::Add(k) => assert_eq!(set.add(*k), model.insert(*k), "add({k})"),
+            SetOp::Remove(k) => assert_eq!(set.remove(k), model.remove(k), "remove({k})"),
+            SetOp::Contains(k) => assert_eq!(set.contains(k), model.contains(k), "contains({k})"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- the _orc word encoding --------------------------------------
+
+    #[test]
+    fn orc_counter_roundtrips(incs in 0u32..2000, decs in 0u32..2000) {
+        let mut w = word::ORC_INIT;
+        for _ in 0..incs { w = w.wrapping_add(word::SEQ + 1); }
+        for _ in 0..decs { w = w.wrapping_add(word::SEQ - 1); }
+        prop_assert_eq!(word::link_count(w), incs as i64 - decs as i64);
+        prop_assert_eq!(word::seq(w), (incs + decs) as u64);
+        prop_assert_eq!(word::is_zero_unclaimed(w), incs == decs);
+    }
+
+    #[test]
+    fn orc_retired_bit_is_orthogonal(incs in 0u32..1000) {
+        let mut w = word::ORC_INIT;
+        for _ in 0..incs { w = w.wrapping_add(word::SEQ + 1); }
+        let claimed = w + word::BRETIRED;
+        prop_assert_eq!(word::link_count(claimed), word::link_count(w));
+        prop_assert_eq!(word::seq(claimed), word::seq(w));
+        prop_assert!(!word::is_zero_unclaimed(claimed));
+    }
+
+    // ---- marked pointers ---------------------------------------------
+
+    #[test]
+    fn marks_never_change_the_target(addr in (0usize..usize::MAX / 8).prop_map(|a| a << 3)) {
+        use orc_util::marked::*;
+        prop_assert_eq!(unmark(mark(addr)), addr);
+        prop_assert_eq!(unmark(tag(addr)), addr);
+        prop_assert_eq!(unmark(tag(mark(addr))), addr);
+        prop_assert!(is_marked(mark(addr)));
+        prop_assert!(is_tagged(tag(addr)));
+        prop_assert!(!is_marked(tag(addr)) || addr & 1 != 0);
+    }
+
+    #[test]
+    fn with_tag_is_idempotent(addr in (0usize..usize::MAX / 8).prop_map(|a| a << 3), bits in 0usize..4) {
+        use orc_util::marked::*;
+        let w = with_tag(addr, bits);
+        prop_assert_eq!(with_tag(w, bits), w);
+        prop_assert_eq!(tag_bits(w), bits);
+        prop_assert_eq!(unmark(w), addr);
+    }
+
+    // ---- DWCAS packing -------------------------------------------------
+
+    #[test]
+    fn dwcas_pack_unpack(lo: u64, hi: u64) {
+        let v = orc_util::dwcas::pack(lo, hi);
+        prop_assert_eq!(orc_util::dwcas::unpack(v), (lo, hi));
+    }
+
+    #[test]
+    fn dwcas_cell_semantics(init_lo: u64, init_hi: u64, new_lo: u64, new_hi: u64) {
+        use orc_util::dwcas::{pack, AtomicU128};
+        let init = pack(init_lo, init_hi);
+        let new = pack(new_lo, new_hi);
+        let cell = AtomicU128::new(init);
+        prop_assert_eq!(cell.load(), init);
+        let (prev, ok) = cell.compare_exchange(init, new);
+        prop_assert!(ok);
+        prop_assert_eq!(prev, init);
+        let (prev2, ok2) = cell.compare_exchange(init, new);
+        prop_assert_eq!(ok2, init == new);
+        prop_assert_eq!(prev2, new);
+    }
+
+    // ---- sequential equivalence of every set -------------------------
+
+    #[test]
+    fn michael_list_orc_matches_model(ops in set_ops(64)) {
+        check_set(&MichaelListOrc::new(), &ops);
+        orcgc::flush_thread();
+    }
+
+    #[test]
+    fn harris_list_orc_matches_model(ops in set_ops(64)) {
+        check_set(&HarrisListOrc::new(), &ops);
+        orcgc::flush_thread();
+    }
+
+    #[test]
+    fn nm_tree_orc_matches_model(ops in set_ops(64)) {
+        check_set(&NmTreeOrc::new(), &ops);
+        orcgc::flush_thread();
+    }
+
+    #[test]
+    fn crf_skip_matches_model(ops in set_ops(64)) {
+        check_set(&CrfSkipListOrc::new(), &ops);
+        orcgc::flush_thread();
+    }
+
+    #[test]
+    fn michael_list_hp_matches_model(ops in set_ops(64)) {
+        check_set(&MichaelList::new(HazardPointers::new()), &ops);
+    }
+
+    #[test]
+    fn michael_list_ptp_matches_model(ops in set_ops(64)) {
+        check_set(&MichaelList::new(PassThePointer::new()), &ops);
+    }
+
+    // ---- queues against VecDeque --------------------------------------
+
+    #[test]
+    fn ms_queue_orc_matches_model(ops in prop::collection::vec(prop::option::of(0u64..1000), 0..200)) {
+        let q = MsQueueOrc::new();
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => { q.enqueue(v); model.push_back(v); }
+                None => assert_eq!(q.dequeue(), model.pop_front()),
+            }
+        }
+        orcgc::flush_thread();
+    }
+
+    #[test]
+    fn lcrq_matches_model(ops in prop::collection::vec(prop::option::of(0u64..1000), 0..200)) {
+        let q = LcrqOrc::new();
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => { q.enqueue(v); model.push_back(v); }
+                None => assert_eq!(q.dequeue(), model.pop_front()),
+            }
+        }
+        orcgc::flush_thread();
+    }
+}
