@@ -186,6 +186,10 @@ impl Domain {
             slot.swap(crate::ptr::protectable(word), Ordering::SeqCst);
             let cur = addr.load(Ordering::SeqCst);
             if cur == word {
+                // Stalled-reader injection point (torture harness): fires
+                // with the hazard published, i.e. while this thread pins
+                // the object — OrcGC's O(H·t) bound must hold regardless.
+                orc_util::stall::hit(orc_util::stall::StallPoint::Protect);
                 return word;
             }
             word = cur;

@@ -162,10 +162,7 @@ fn slot_exhaustion_panics_with_clear_message() {
     })
     .join();
     let err = result.expect_err("must panic on slot exhaustion");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(
         msg.contains("hazard slots"),
         "panic message should mention hazard slots: {msg}"

@@ -13,14 +13,20 @@
 //! * [`track`] — global allocation accounting used by the leak tests and the
 //!   memory-usage experiments.
 //! * [`rng`] — a tiny xorshift generator for hot paths (skip-list levels,
-//!   workload key streams) where seeding a full `rand` generator would be
-//!   overkill.
+//!   workload key streams) and for the workspace's randomized tests.
+//! * [`sync`] — in-tree [`CachePadded`] and [`Backoff`] (the workspace
+//!   builds with zero external dependencies; see README "Building offline
+//!   & CI").
+//! * [`stall`] — stalled-reader fault injection used by the torture
+//!   harness to validate the paper's unreclaimed-memory bounds.
 
 pub mod dwcas;
 pub mod marked;
 pub mod registry;
 pub mod rng;
+pub mod stall;
+pub mod sync;
 pub mod track;
 
-pub use crossbeam_utils::Backoff;
-pub use crossbeam_utils::CachePadded;
+pub use sync::Backoff;
+pub use sync::CachePadded;

@@ -1,0 +1,198 @@
+//! Stalled-reader fault injection for reclamation torture tests.
+//!
+//! The central claim of the OrcGC paper is a *bound*: PTP/OrcGC keep the
+//! number of retired-but-unfreed objects at `O(H·t)` even when a reader
+//! stalls mid-protection, while EBR's unreclaimed set grows without bound
+//! (Table 1). Exercising that claim requires parking a thread at the most
+//! adversarial instant — *after* it has published a protection (hazard
+//! slot, era reservation, or epoch pin) but *before* it releases it — while
+//! other threads churn retire traffic.
+//!
+//! This module provides the injection machinery. Reclamation schemes call
+//! [`hit`] at their injection points (inside `protect`, after the
+//! publish-and-validate loop settles, and inside `begin_op` after the
+//! epoch pin). A test arms a one-shot [`Gate`] on the victim thread with
+//! [`arm`]; the next time that thread passes a matching injection point it
+//! parks on the gate until the test calls [`Gate::release`].
+//!
+//! The fast path costs a single relaxed load of a global counter: when no
+//! thread is armed anywhere in the process, `hit` is a compare-and-branch.
+//! Production binaries that never call [`arm`] pay nothing else.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Where in the protection protocol the stall fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallPoint {
+    /// Inside `protect`, after the protection has been published and
+    /// validated (the pointer-based schemes' adversarial instant).
+    Protect,
+    /// Inside `begin_op`, after the epoch/era pin has been published
+    /// (EBR's adversarial instant).
+    BeginOp,
+}
+
+/// Number of armed threads process-wide; the `hit` fast path.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+/// One-shot rendezvous between the torture driver and the victim thread.
+///
+/// States: armed → parked (victim reached the injection point and blocked)
+/// → released (driver let it continue).
+pub struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateState {
+    Armed,
+    Parked,
+    Released,
+}
+
+impl Gate {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(GateState::Armed),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Blocks the calling (victim) thread until [`Gate::release`].
+    fn park(&self) {
+        let mut st = self.state.lock().unwrap();
+        *st = GateState::Parked;
+        self.cv.notify_all();
+        while *st != GateState::Released {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Waits until the victim has parked (or the timeout elapses).
+    /// Returns `true` if the victim is parked.
+    pub fn wait_until_parked(&self, timeout: Duration) -> bool {
+        let st = self.state.lock().unwrap();
+        let (st, res) = self
+            .cv
+            .wait_timeout_while(st, timeout, |s| *s == GateState::Armed)
+            .unwrap();
+        !res.timed_out() && *st == GateState::Parked
+    }
+
+    /// Unblocks the victim. Idempotent; safe to call even if the victim
+    /// never reached the injection point (disarm with [`disarm`] first to
+    /// avoid a stale thread-local arming a later operation).
+    pub fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        *st = GateState::Released;
+        self.cv.notify_all();
+    }
+}
+
+thread_local! {
+    static PENDING: RefCell<Option<(StallPoint, Arc<Gate>)>> = const { RefCell::new(None) };
+}
+
+/// Arms a one-shot stall on the **calling** thread: the next time this
+/// thread passes a matching injection point it parks on `gate`.
+pub fn arm(point: StallPoint, gate: Arc<Gate>) {
+    PENDING.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.replace((point, gate)).is_none() {
+            ARMED.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+}
+
+/// Removes a pending arming on the calling thread, if any. Returns whether
+/// something was disarmed.
+pub fn disarm() -> bool {
+    PENDING.with(|p| {
+        let was = p.borrow_mut().take().is_some();
+        if was {
+            ARMED.fetch_sub(1, Ordering::SeqCst);
+        }
+        was
+    })
+}
+
+/// Injection point. Called by reclamation schemes inside `protect` /
+/// `begin_op`; parks the calling thread iff it armed a matching stall.
+#[inline]
+pub fn hit(point: StallPoint) {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    hit_slow(point);
+}
+
+#[cold]
+fn hit_slow(point: StallPoint) {
+    let gate = PENDING.with(|p| {
+        let mut p = p.borrow_mut();
+        match &*p {
+            Some((armed_point, _)) if *armed_point == point => {
+                ARMED.fetch_sub(1, Ordering::SeqCst);
+                p.take().map(|(_, g)| g)
+            }
+            _ => None,
+        }
+    });
+    if let Some(gate) = gate {
+        gate.park();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_hit_is_a_noop() {
+        hit(StallPoint::Protect);
+        hit(StallPoint::BeginOp);
+    }
+
+    #[test]
+    fn arm_parks_victim_until_release() {
+        let gate = Gate::new();
+        let g2 = gate.clone();
+        let t = std::thread::spawn(move || {
+            arm(StallPoint::Protect, g2);
+            hit(StallPoint::BeginOp); // wrong point: must not park
+            hit(StallPoint::Protect); // parks here
+            42
+        });
+        assert!(gate.wait_until_parked(Duration::from_secs(5)));
+        gate.release();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn stall_is_one_shot() {
+        let gate = Gate::new();
+        let g2 = gate.clone();
+        let t = std::thread::spawn(move || {
+            arm(StallPoint::Protect, g2);
+            hit(StallPoint::Protect); // parks once
+            hit(StallPoint::Protect); // second pass sails through
+        });
+        assert!(gate.wait_until_parked(Duration::from_secs(5)));
+        gate.release();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn disarm_cancels_pending_stall() {
+        let gate = Gate::new();
+        arm(StallPoint::Protect, gate);
+        assert!(disarm());
+        assert!(!disarm());
+        hit(StallPoint::Protect); // must not park
+    }
+}

@@ -129,6 +129,79 @@ pub fn global() -> &'static AllocStats {
     &GLOBAL
 }
 
+/// Serializes [`Ledger`] sections so their deltas are attributable.
+static LEDGER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// A scoped view over the [`global`] counters: snapshot at `open`, diff at
+/// any point later. Used by the leak tests ("allocations == frees after
+/// `flush()` + drop") of the torture harness.
+///
+/// Opening a ledger takes a process-wide lock so concurrent ledgered
+/// sections (e.g. parallel `cargo test` threads) cannot pollute each
+/// other's deltas — allocation traffic from *non*-ledgered code still
+/// shows up, so keep unrelated scheme activity out of ledgered scopes.
+pub struct Ledger {
+    base: Snapshot,
+    _guard: std::sync::MutexGuard<'static, ()>,
+}
+
+/// Difference between two [`AllocStats`] snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerDelta {
+    pub allocs: u64,
+    pub frees: u64,
+    pub live_objects: i64,
+    pub live_bytes: i64,
+    pub unreclaimed: i64,
+}
+
+impl LedgerDelta {
+    /// Every allocation in the section was freed within the section.
+    pub fn is_balanced(&self) -> bool {
+        self.allocs == self.frees && self.live_objects == 0 && self.live_bytes == 0
+    }
+}
+
+impl Ledger {
+    /// Opens a ledgered section (blocking until any other section closes).
+    pub fn open() -> Self {
+        let guard = LEDGER_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Self {
+            base: global().snapshot(),
+            _guard: guard,
+        }
+    }
+
+    /// Counter movement since `open`.
+    pub fn delta(&self) -> LedgerDelta {
+        let now = global().snapshot();
+        LedgerDelta {
+            allocs: now.total_allocs - self.base.total_allocs,
+            frees: now.total_frees - self.base.total_frees,
+            live_objects: now.live_objects - self.base.live_objects,
+            live_bytes: now.live_bytes - self.base.live_bytes,
+            unreclaimed: now.unreclaimed - self.base.unreclaimed,
+        }
+    }
+
+    /// Panics with a diagnostic if the section leaked (or double-freed).
+    pub fn assert_balanced(&self, label: &str) {
+        let d = self.delta();
+        assert!(
+            d.is_balanced(),
+            "{label}: leak ledger unbalanced — {} allocs vs {} frees \
+             ({:+} live objects, {:+} live bytes, {:+} unreclaimed)",
+            d.allocs,
+            d.frees,
+            d.live_objects,
+            d.live_bytes,
+            d.unreclaimed,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +247,25 @@ mod tests {
         assert_eq!(snap.live_objects, 1);
         assert_eq!(snap.unreclaimed, 1);
         assert_eq!(snap.max_unreclaimed, 1);
+    }
+
+    #[test]
+    fn ledger_balances_and_detects_leaks() {
+        {
+            let ledger = Ledger::open();
+            global().on_alloc(64);
+            global().on_retire();
+            let d = ledger.delta();
+            assert!(!d.is_balanced());
+            assert_eq!(d.allocs, 1);
+            assert_eq!(d.unreclaimed, 1);
+            global().on_reclaim();
+            global().on_free(64);
+            ledger.assert_balanced("balanced section");
+        }
+        // Sections serialize: a second open must not deadlock.
+        let ledger = Ledger::open();
+        assert!(ledger.delta().is_balanced());
     }
 
     #[test]

@@ -182,6 +182,9 @@ impl Smr for Ebr {
         let tid = self.attach();
         let e = self.inner.global_epoch.load(Ordering::SeqCst);
         self.inner.local[tid].swap(e, Ordering::SeqCst);
+        // Injection point: the pin is published; a reader stalled here
+        // blocks the epoch from ever advancing — EBR's unbounded case.
+        orc_util::stall::hit(orc_util::stall::StallPoint::BeginOp);
     }
 
     /// Unpin.
@@ -194,7 +197,9 @@ impl Smr for Ebr {
     /// object reachable during the operation.
     #[inline]
     fn protect(&self, _idx: usize, addr: &AtomicUsize) -> usize {
-        addr.load(Ordering::SeqCst)
+        let word = addr.load(Ordering::SeqCst);
+        orc_util::stall::hit(orc_util::stall::StallPoint::Protect);
+        word
     }
 
     #[inline]

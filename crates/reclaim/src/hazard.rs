@@ -61,6 +61,10 @@ impl SlotArray {
     /// The paper's `get_protected` loop (Algorithm 2, lines 4–11): publish
     /// the unmarked pointer, re-read `addr`, repeat until stable. Returns
     /// the full word including tag bits.
+    ///
+    /// Carries the stalled-reader injection point of HP, PTB and PTP: the
+    /// stall fires *after* the protection is published and validated, i.e.
+    /// while the victim demonstrably pins the object.
     #[inline]
     pub fn protect_loop(&self, tid: usize, idx: usize, addr: &AtomicUsize) -> usize {
         let mut word = addr.load(Ordering::SeqCst);
@@ -68,6 +72,7 @@ impl SlotArray {
             self.publish(tid, idx, orc_util::marked::unmark(word));
             let cur = addr.load(Ordering::SeqCst);
             if cur == word {
+                orc_util::stall::hit(orc_util::stall::StallPoint::Protect);
                 return word;
             }
             word = cur;

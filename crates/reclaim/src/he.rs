@@ -205,6 +205,9 @@ impl Smr for HazardEras {
             let word = addr.load(Ordering::SeqCst);
             let era = self.inner.era_clock.load(Ordering::SeqCst);
             if era == prev {
+                // Injection point: the era reservation is published; a
+                // stalled reader here pins every object alive in `era`.
+                orc_util::stall::hit(orc_util::stall::StallPoint::Protect);
                 return word;
             }
             res.swap(era as usize, Ordering::SeqCst);

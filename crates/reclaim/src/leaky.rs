@@ -2,23 +2,65 @@
 //!
 //! The paper's queue figures (Figs. 1–2) normalize every scheme against a
 //! leaky run, and the list figures include a `None` series. Retired nodes
-//! are simply abandoned; `protect` degenerates to a plain load. This is the
-//! upper bound on throughput and the lower bound on memory hygiene.
+//! are simply abandoned *for the lifetime of the scheme*; `protect`
+//! degenerates to a plain load. This is the upper bound on throughput and
+//! the lower bound on memory hygiene.
+//!
+//! Retired nodes are parked on an intrusive stack and freed only when the
+//! last handle to the scheme drops — never during the run, preserving the
+//! baseline's semantics, but leaving the process (and the torture
+//! harness's leak ledger) clean at teardown.
 
-use crate::header::SmrHeader;
+use crate::hazard::OrphanStack;
+use crate::header::{destroy_tracked, SmrHeader};
 use crate::Smr;
-use orc_util::track;
+use orc_util::{stall, track};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-/// No-op reclamation scheme (leaks every retired node).
-#[derive(Default)]
+struct Inner {
+    /// Everything ever retired; freed wholesale in `Drop`.
+    retired: OrphanStack,
+    count: AtomicUsize,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Exclusive access at teardown: the leak ends with the scheme.
+        for h in self.retired.drain() {
+            unsafe { destroy_tracked(h) };
+            track::global().on_reclaim();
+        }
+    }
+}
+
+/// No-op reclamation scheme (leaks every retired node until teardown).
 pub struct Leaky {
-    retired: AtomicUsize,
+    inner: Arc<Inner>,
 }
 
 impl Leaky {
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: Arc::new(Inner {
+                retired: OrphanStack::new(),
+                count: AtomicUsize::new(0),
+            }),
+        }
+    }
+}
+
+impl Default for Leaky {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Leaky {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -36,7 +78,9 @@ impl Smr for Leaky {
 
     #[inline]
     fn protect(&self, _idx: usize, addr: &AtomicUsize) -> usize {
-        addr.load(Ordering::SeqCst)
+        let word = addr.load(Ordering::SeqCst);
+        stall::hit(stall::StallPoint::Protect);
+        word
     }
 
     #[inline]
@@ -45,9 +89,10 @@ impl Smr for Leaky {
     #[inline]
     fn clear(&self, _idx: usize) {}
 
-    unsafe fn retire<T: Send>(&self, _ptr: *mut T) {
-        self.retired.fetch_add(1, Ordering::Relaxed);
+    unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
         track::global().on_retire();
+        unsafe { self.inner.retired.push(SmrHeader::of_value(ptr)) };
     }
 
     unsafe fn dealloc_now<T>(&self, ptr: *mut T) {
@@ -57,12 +102,12 @@ impl Smr for Leaky {
     fn flush(&self) {}
 
     fn unreclaimed(&self) -> usize {
-        self.retired.load(Ordering::Relaxed)
+        self.inner.count.load(Ordering::Relaxed)
     }
 
     fn is_lock_free(&self) -> bool {
         // Trivially non-blocking, but provides no reclamation guarantee:
-        // the unreclaimed bound is infinite.
+        // the unreclaimed bound is infinite for the scheme's lifetime.
         true
     }
 }
@@ -79,7 +124,7 @@ mod tests {
     }
 
     #[test]
-    fn retire_counts_but_never_frees() {
+    fn retire_counts_but_never_frees_while_alive() {
         let l = Leaky::new();
         let p = l.alloc(123u64);
         unsafe { l.retire(p) };
@@ -88,6 +133,32 @@ mod tests {
         assert_eq!(l.unreclaimed(), 1);
         // The object is still readable — that is the point of the baseline.
         assert_eq!(unsafe { *p }, 123);
+    }
+
+    #[test]
+    fn teardown_frees_the_leak() {
+        struct Probe(std::sync::Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = std::sync::Arc::new(AtomicUsize::new(0));
+        {
+            let l = Leaky::new();
+            let l2 = l.clone();
+            for _ in 0..10 {
+                let p = l.alloc(Probe(drops.clone()));
+                unsafe { l2.retire(p) };
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), 0, "no frees while alive");
+            assert_eq!(l.unreclaimed(), 10);
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            10,
+            "teardown must free every parked retiree"
+        );
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub mod leaky;
 pub mod ptb;
 pub mod ptp;
 
+/// Stalled-reader fault injection (test support). Every scheme's `protect`
+/// calls [`stall::hit`]`(`[`stall::StallPoint::Protect`]`)` after its
+/// protection is published and validated, and `begin_op` hits
+/// [`stall::StallPoint::BeginOp`] after the epoch pin — letting the
+/// torture harness park a victim thread at the most adversarial instant.
+/// The machinery lives in `orc_util` so the OrcGC domain shares it.
+pub use orc_util::stall;
+
 pub use ebr::Ebr;
 pub use he::HazardEras;
 pub use header::{as_word, SmrHeader};
@@ -74,9 +82,12 @@ pub trait Smr: Send + Sync + 'static {
     fn alloc<T: Send>(&self, value: T) -> *mut T;
 
     /// Marks the start of a data-structure operation. No-op for
-    /// pointer-based schemes; pins the epoch for EBR.
+    /// pointer-based schemes (bar the fault-injection point); pins the
+    /// epoch for EBR.
     #[inline]
-    fn begin_op(&self) {}
+    fn begin_op(&self) {
+        stall::hit(stall::StallPoint::BeginOp);
+    }
 
     /// Marks the end of a data-structure operation. Pointer-based schemes
     /// clear all hazard slots; EBR unpins.

@@ -35,4 +35,4 @@ pub mod skiplist;
 pub mod traits;
 pub mod tree;
 
-pub use traits::{ConcurrentQueue, ConcurrentSet};
+pub use traits::{ConcurrentQueue, ConcurrentSet, SmrQueue, SmrSet};

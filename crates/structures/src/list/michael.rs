@@ -205,6 +205,16 @@ impl<K, S: Smr> Drop for MichaelList<K, S> {
     }
 }
 
+impl<S: Smr> crate::traits::SmrSet<S> for MichaelList<u64, S> {
+    fn with_smr(smr: S) -> Self {
+        MichaelList::new(smr)
+    }
+
+    fn smr(&self) -> &S {
+        MichaelList::smr(self)
+    }
+}
+
 impl<K, S> ConcurrentSet<K> for MichaelList<K, S>
 where
     K: Ord + Copy + Send + Sync + 'static,

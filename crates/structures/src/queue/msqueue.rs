@@ -121,6 +121,16 @@ impl<T: Send, S: Smr> MsQueue<T, S> {
     }
 }
 
+impl<S: Smr> crate::traits::SmrQueue<S> for MsQueue<u64, S> {
+    fn with_smr(smr: S) -> Self {
+        MsQueue::new(smr)
+    }
+
+    fn smr(&self) -> &S {
+        MsQueue::smr(self)
+    }
+}
+
 impl<T: Send, S: Smr> ConcurrentQueue<T> for MsQueue<T, S> {
     fn enqueue(&self, item: T) {
         MsQueue::enqueue(self, item)

@@ -89,13 +89,17 @@ where
     ) -> bool {
         // Restarts are the price of poisoning (§5: lookups become
         // lock-free). Under heavy churn, back off between restarts or the
-        // traversal can starve behind a steady stream of fresh poisons.
+        // traversal can starve behind a steady stream of fresh poisons —
+        // on oversubscribed machines a pure yield storm can starve it
+        // indefinitely, so escalate to short sleeps.
         let backoff = orc_util::Backoff::new();
+        let mut restarts = 0u64;
         'retry: loop {
             if !backoff.is_completed() {
                 backoff.snooze();
             } else {
-                std::thread::yield_now();
+                restarts += 1;
+                std::thread::sleep(std::time::Duration::from_micros(50 * restarts.min(20)));
             }
             preds.clear();
             succs.clear();
@@ -158,13 +162,18 @@ where
             }
             for l in 1..=top {
                 loop {
-                    if preds[l]
-                        .link(l)
-                        .cas_tagged(unmark(succs[l].raw()), &node, 0)
-                    {
-                        break;
-                    }
-                    self.find(&key, &mut preds, &mut succs);
+                    // `node.link(l)` must agree with the `succs[l]` we are
+                    // about to splice in front of BEFORE the pred CAS: the
+                    // re-finds below (and at lower levels) refresh `succs`
+                    // while the node still carries the successor from an
+                    // older find. Publishing with that stale forward
+                    // pointer can expose an unmarked edge onto an
+                    // already-poisoned node — traversals restart on poison
+                    // before the snip-heal branch can run, so the edge is
+                    // never repaired and every traversal livelocks. With
+                    // the fix-up first, the pred CAS and any snip of
+                    // `succs[l]` linearize on the same word, so a stale
+                    // successor can never become reachable.
                     let cur = node.link(l).load();
                     if cur.is_marked() || cur.is_poison() {
                         return true; // being removed; stop linking
@@ -174,6 +183,13 @@ where
                     {
                         return true;
                     }
+                    if preds[l]
+                        .link(l)
+                        .cas_tagged(unmark(succs[l].raw()), &node, 0)
+                    {
+                        break;
+                    }
+                    self.find(&key, &mut preds, &mut succs);
                 }
             }
             return true;
@@ -215,11 +231,15 @@ where
     /// (the paper's trade-off for the linear memory bound).
     pub fn contains(&self, key: &K) -> bool {
         let backoff = orc_util::Backoff::new();
+        let mut restarts = 0u64;
         'retry: loop {
             if !backoff.is_completed() {
                 backoff.snooze();
             } else {
-                std::thread::yield_now();
+                // See `find`: sleep escalation so a starved lookup lets
+                // the poison storm drain instead of feeding it.
+                restarts += 1;
+                std::thread::sleep(std::time::Duration::from_micros(50 * restarts.min(20)));
             }
             let mut pred = self.head.load();
             let mut found = false;

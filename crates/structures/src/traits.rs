@@ -23,3 +23,22 @@ pub trait ConcurrentSet<K>: Send + Sync {
     /// The structure's display name (figure legends).
     fn name(&self) -> &'static str;
 }
+
+/// Generic construction of a manual-scheme set from a scheme instance, so
+/// harnesses (torture, benches) can sweep the full (structure × scheme)
+/// matrix without naming concrete types. Keys are fixed to `u64` — the
+/// paper's set benchmarks are all integer-keyed.
+pub trait SmrSet<S: reclaim::Smr>: ConcurrentSet<u64> + Sized + 'static {
+    /// Builds the structure over the given scheme instance.
+    fn with_smr(smr: S) -> Self;
+    /// The scheme driving this instance (for `flush`/`unreclaimed`).
+    fn smr(&self) -> &S;
+}
+
+/// Generic construction of a manual-scheme queue; see [`SmrSet`].
+pub trait SmrQueue<S: reclaim::Smr>: ConcurrentQueue<u64> + Sized + 'static {
+    /// Builds the structure over the given scheme instance.
+    fn with_smr(smr: S) -> Self;
+    /// The scheme driving this instance (for `flush`/`unreclaimed`).
+    fn smr(&self) -> &S;
+}

@@ -1,0 +1,178 @@
+//! CI soak driver: runs the full torture battery across every scheme and
+//! both benchmark structures, sized by `TORTURE_ITERS` / `TORTURE_THREADS`
+//! (see [`torture::Config::from_env`]). Any violated bound or leaked
+//! allocation panics, failing the run.
+
+use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
+use structures::list::{MichaelList, MichaelListOrc};
+use structures::queue::{MsQueue, MsQueueOrc};
+use torture::{
+    aba_hammer_queue, aba_hammer_set, assert_bounded, assert_unbounded, churn_orc_queue_ledgered,
+    churn_orc_set_ledgered, churn_queue_ledgered, churn_set_ledgered, oversubscription_soak,
+    stalled_reader_churn, Config, STALL_THRESHOLD,
+};
+
+fn stall_battery(cfg: &Config) {
+    println!("== stalled-reader fault injection ==");
+    let writers = 2;
+
+    let r = stalled_reader_churn(
+        HazardPointers::with_threshold(STALL_THRESHOLD),
+        writers,
+        cfg.stall_rounds,
+    );
+    report(&r);
+    assert_bounded(&r, writers);
+
+    let r = stalled_reader_churn(
+        PassTheBuck::with_threshold(STALL_THRESHOLD),
+        writers,
+        cfg.stall_rounds,
+    );
+    report(&r);
+    assert_bounded(&r, writers);
+
+    let r = stalled_reader_churn(PassThePointer::new(), writers, cfg.stall_rounds);
+    report(&r);
+    assert_bounded(&r, writers);
+
+    let r = stalled_reader_churn(
+        HazardEras::with_threshold(STALL_THRESHOLD),
+        writers,
+        cfg.stall_rounds,
+    );
+    report(&r);
+    assert_bounded(&r, writers);
+
+    let r = stalled_reader_churn(Ebr::new(), writers, cfg.stall_rounds);
+    report(&r);
+    assert_unbounded(&r);
+
+    let r = stalled_reader_churn(Leaky::new(), writers, cfg.stall_rounds);
+    report(&r);
+    assert_unbounded(&r);
+}
+
+fn report(r: &torture::StallReport) {
+    println!(
+        "  {:<5} churned {:>7}  peak {:>7}  stalled-flush {:>7}  drained {}",
+        r.scheme, r.churned, r.max_unreclaimed, r.stalled_flush_unreclaimed, r.drained
+    );
+}
+
+fn ledger_battery(cfg: &Config) {
+    println!("== leak ledger (scheme × structure) ==");
+    // Fresh scheme instance per ledgered section: each section must hold
+    // the only handles so teardown frees (the leaky stash) land inside it.
+    fn one<S: Smr + Clone>(make: impl Fn() -> S, cfg: &Config) {
+        let name = make().name();
+        churn_set_ledgered::<S, MichaelList<u64, S>>(
+            make(),
+            &format!("{name}/MichaelList"),
+            cfg.threads,
+            cfg.iters,
+        );
+        println!("  {name:<5} MichaelList balanced");
+        churn_queue_ledgered::<S, MsQueue<u64, S>>(
+            make(),
+            &format!("{name}/MSQueue"),
+            cfg.threads,
+            cfg.iters,
+        );
+        println!("  {name:<5} MSQueue     balanced");
+    }
+    one(HazardPointers::new, cfg);
+    one(PassTheBuck::new, cfg);
+    one(PassThePointer::new, cfg);
+    one(HazardEras::new, cfg);
+    one(Ebr::new, cfg);
+    one(Leaky::new, cfg);
+
+    churn_orc_set_ledgered(
+        MichaelListOrc::<u64>::new,
+        "OrcGC/MichaelListOrc",
+        cfg.threads,
+        cfg.iters,
+    );
+    println!("  OrcGC MichaelListOrc balanced");
+    churn_orc_queue_ledgered(
+        MsQueueOrc::<u64>::new,
+        "OrcGC/MSQueueOrc",
+        cfg.threads,
+        cfg.iters,
+    );
+    println!("  OrcGC MSQueueOrc     balanced");
+}
+
+fn soak_battery(cfg: &Config) {
+    println!("== oversubscription soak ==");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let threads = (4 * cores).min(48);
+    let iters = (cfg.iters / 4).max(500);
+    oversubscription_soak::<_, MichaelList<u64, _>>(
+        PassThePointer::new(),
+        "PTP/soak",
+        cfg.waves,
+        threads,
+        iters,
+    );
+    println!("  PTP   {} waves × {threads} threads balanced", cfg.waves);
+    oversubscription_soak::<_, MichaelList<u64, _>>(
+        HazardPointers::new(),
+        "HP/soak",
+        cfg.waves,
+        threads,
+        iters,
+    );
+    println!("  HP    {} waves × {threads} threads balanced", cfg.waves);
+    oversubscription_soak::<_, MichaelList<u64, _>>(
+        Ebr::new(),
+        "EBR/soak",
+        cfg.waves,
+        threads,
+        iters,
+    );
+    println!("  EBR   {} waves × {threads} threads balanced", cfg.waves);
+}
+
+fn aba_battery(cfg: &Config) {
+    println!("== ABA hammer ==");
+    fn one<S: Smr + Clone>(make: impl Fn() -> S, cfg: &Config) {
+        let name = make().name();
+        aba_hammer_set::<S, MichaelList<u64, S>>(
+            make(),
+            &format!("{name}/aba-list"),
+            cfg.threads,
+            cfg.iters,
+        );
+        aba_hammer_queue::<S, MsQueue<u64, S>>(
+            make(),
+            &format!("{name}/aba-queue"),
+            2,
+            2,
+            cfg.iters,
+        );
+        println!("  {name:<5} list+queue conserved");
+    }
+    one(HazardPointers::new, cfg);
+    one(PassTheBuck::new, cfg);
+    one(PassThePointer::new, cfg);
+    one(HazardEras::new, cfg);
+    one(Ebr::new, cfg);
+    one(Leaky::new, cfg);
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    println!(
+        "torture: iters={} threads={} stall_rounds={} waves={}",
+        cfg.iters, cfg.threads, cfg.stall_rounds, cfg.waves
+    );
+    stall_battery(&cfg);
+    ledger_battery(&cfg);
+    soak_battery(&cfg);
+    aba_battery(&cfg);
+    println!("torture: all batteries passed");
+}

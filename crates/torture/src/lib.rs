@@ -1,0 +1,561 @@
+//! Scheme-generic torture harness for the reclamation schemes.
+//!
+//! Every manual scheme ([`reclaim::Smr`]) and the OrcGC domain run through
+//! one uniform battery, built on the uniform traits
+//! ([`structures::SmrSet`] / [`structures::SmrQueue`] /
+//! [`structures::ConcurrentSet`] / [`structures::ConcurrentQueue`]):
+//!
+//! 1. **Stalled-reader fault injection** ([`stalled_reader_churn`]) — a
+//!    victim thread is parked *inside* `protect` (via
+//!    [`reclaim::stall`]) while writers churn retire traffic. Bounded
+//!    schemes (HP, PTB, PTP, HE) must keep `unreclaimed()` under a
+//!    rounds-independent ceiling; EBR (and the leaky baseline) must grow
+//!    with the churn — the paper's Table 1 bounds, asserted.
+//! 2. **Leak ledger** ([`churn_set_ledgered`] and friends) — every
+//!    (scheme × structure) pair churns under a [`orc_util::track::Ledger`]
+//!    and must end with allocations == frees after `flush()` + drop.
+//! 3. **Oversubscription soak** ([`oversubscription_soak`]) — waves of
+//!    short-lived threads (threads ≫ cores) hammer one structure,
+//!    exercising registry tid reuse and thread-exit orphan handoff.
+//! 4. **ABA hammer** ([`aba_hammer_set`], [`aba_hammer_queue`]) — a tiny
+//!    key universe forces constant address recycling; per-key conservation
+//!    counts catch lost or duplicated nodes.
+//!
+//! The `torture` binary drives the full battery for CI soak runs, scaled
+//! by the `TORTURE_ITERS` / `TORTURE_THREADS` environment knobs.
+
+use orc_util::registry;
+use orc_util::rng::XorShift64;
+use orc_util::stall::{self, Gate, StallPoint};
+use orc_util::track::Ledger;
+use reclaim::{Smr, MAX_HPS};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use structures::{ConcurrentQueue, ConcurrentSet, SmrQueue, SmrSet};
+
+/// Battery sizing, from the environment (`TORTURE_*`) or fixed defaults.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Operations per worker thread in churn batteries.
+    pub iters: u64,
+    /// Worker threads per battery.
+    pub threads: usize,
+    /// Retire-churn rounds per writer in the stall battery.
+    pub stall_rounds: u64,
+    /// Spawn/join waves in the oversubscription soak.
+    pub waves: usize,
+}
+
+impl Config {
+    /// Reads `TORTURE_ITERS`, `TORTURE_THREADS`, `TORTURE_STALL_ROUNDS`
+    /// and `TORTURE_WAVES`, falling back to soak-sized defaults.
+    pub fn from_env() -> Self {
+        fn get(key: &str, default: u64) -> u64 {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        // Floors, not just defaults: a typo'd `TORTURE_THREADS=0` would
+        // hollow every churn battery into a trivially-green no-op.
+        Self {
+            iters: get("TORTURE_ITERS", 20_000).max(1),
+            threads: (get("TORTURE_THREADS", cores.clamp(2, 8) as u64) as usize).max(2),
+            stall_rounds: get("TORTURE_STALL_ROUNDS", 4_000).max(1),
+            waves: (get("TORTURE_WAVES", 4) as usize).max(1),
+        }
+    }
+
+    /// Small fixed sizing for `cargo test` (seconds, not minutes).
+    pub fn short() -> Self {
+        Self {
+            iters: 3_000,
+            threads: 4,
+            stall_rounds: 1_500,
+            waves: 3,
+        }
+    }
+}
+
+/// The threshold the stall battery constructs bounded schemes with
+/// (`with_threshold`), so ceilings are deterministic rather than dependent
+/// on the adaptive `2·H·t + 8` formula.
+pub const STALL_THRESHOLD: usize = 64;
+
+/// What the stall battery observed for one scheme.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    pub scheme: &'static str,
+    /// Total objects retired by the writers while the victim was parked.
+    pub churned: u64,
+    /// Peak `unreclaimed()` sampled during the churn.
+    pub max_unreclaimed: usize,
+    /// `unreclaimed()` after a full `flush()` with the victim *still
+    /// parked* — the number the paper's Table 1 bounds.
+    pub stalled_flush_unreclaimed: usize,
+    /// Whether `unreclaimed()` reached 0 after the victim was released
+    /// (always `false` for the leaky baseline).
+    pub drained: bool,
+}
+
+/// Ceiling for a bounded scheme's stalled-flush residue: per-writer
+/// un-scanned batches plus every protectable slot, independent of the
+/// number of churn rounds. (HE additionally keeps objects born in the
+/// victim's reserved era — at most one `ERA_FREQ = 64 = STALL_THRESHOLD`
+/// batch per writer, already covered by the first term.)
+pub fn bounded_ceiling(writers: usize) -> usize {
+    2 * writers * STALL_THRESHOLD + MAX_HPS * registry::registered_watermark() + 64
+}
+
+/// Parks a victim thread inside `protect` (holding a live protection on a
+/// shared node), then churns `rounds` alloc→swap→retire cycles on each of
+/// `writers` writer threads. Reports the unreclaimed watermarks; callers
+/// assert boundedness per scheme with [`assert_bounded`] /
+/// [`assert_unbounded`].
+///
+/// The victim dereferences its protected pointer *after* the writers have
+/// retired it and churned past — the use-after-free check TSan/ASan bite
+/// on if a scheme frees protected memory.
+pub fn stalled_reader_churn<S: Smr + Clone>(smr: S, writers: usize, rounds: u64) -> StallReport {
+    let scheme = smr.name();
+    let gate = Gate::new();
+
+    // One shared slot per writer plus slot 0 for the victim; each holds a
+    // value-pointer word for a tracked u64.
+    let slots: Arc<Vec<AtomicUsize>> = Arc::new(
+        (0..writers + 1)
+            .map(|_| AtomicUsize::new(smr.alloc(42u64) as usize))
+            .collect(),
+    );
+
+    let victim = {
+        let smr = smr.clone();
+        let slots = Arc::clone(&slots);
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            stall::arm(StallPoint::Protect, gate);
+            smr.begin_op();
+            // Parks inside protect, with the protection (hazard slot, era
+            // reservation, or epoch pin) already published.
+            let word = smr.protect(0, &slots[0]);
+            // Released: the node was retired long ago and the writers have
+            // churned thousands of objects past it. The protection must
+            // have kept it alive.
+            let seen = unsafe { *(word as *const u64) };
+            smr.end_op();
+            seen
+        })
+    };
+    assert!(
+        gate.wait_until_parked(Duration::from_secs(30)),
+        "{scheme}: victim never reached the protect injection point"
+    );
+
+    // Retire the node the victim is protecting: the adversarial case.
+    let fresh = smr.alloc(7u64) as usize;
+    let old = slots[0].swap(fresh, Ordering::SeqCst);
+    unsafe { smr.retire(old as *mut u64) };
+
+    let max_seen = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|sc| {
+        for w in 0..writers {
+            let smr = smr.clone();
+            let slots = Arc::clone(&slots);
+            let max_seen = Arc::clone(&max_seen);
+            sc.spawn(move || {
+                for i in 0..rounds {
+                    let next = smr.alloc(i) as usize;
+                    let old = slots[w + 1].swap(next, Ordering::SeqCst);
+                    unsafe { smr.retire(old as *mut u64) };
+                    max_seen.fetch_max(smr.unreclaimed(), Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    // All writers done (and their retired lists orphaned at thread exit);
+    // flush with the victim still parked. Bounded schemes reclaim all but
+    // a rounds-independent residue here; EBR/Leaky keep ~everything.
+    smr.flush();
+    let stalled_flush_unreclaimed = smr.unreclaimed();
+    let churned = writers as u64 * rounds + 1;
+
+    gate.release();
+    let seen = victim.join().expect("victim thread panicked");
+    assert_eq!(
+        seen, 42,
+        "{scheme}: victim read {seen} through its protected pointer (use-after-free)"
+    );
+
+    let drained = drain(&smr, 400);
+
+    // Quiescent now: free the nodes still sitting in the shared slots.
+    for slot in slots.iter() {
+        let w = slot.load(Ordering::SeqCst);
+        unsafe { smr.dealloc_now(w as *mut u64) };
+    }
+
+    StallReport {
+        scheme,
+        churned,
+        max_unreclaimed: max_seen
+            .load(Ordering::Relaxed)
+            .max(stalled_flush_unreclaimed),
+        stalled_flush_unreclaimed,
+        drained,
+    }
+}
+
+/// Asserts the Table-1 "bounded" column: the stalled-flush residue is
+/// below [`bounded_ceiling`] (i.e. independent of churn volume) and the
+/// scheme drained to zero once the victim resumed.
+pub fn assert_bounded(r: &StallReport, writers: usize) {
+    let ceiling = bounded_ceiling(writers);
+    assert!(
+        r.stalled_flush_unreclaimed <= ceiling,
+        "{}: {} unreclaimed after flush under a stalled reader (ceiling {ceiling}, churned {})",
+        r.scheme,
+        r.stalled_flush_unreclaimed,
+        r.churned,
+    );
+    assert!(
+        r.drained,
+        "{}: failed to drain to 0 after the stalled reader resumed",
+        r.scheme
+    );
+}
+
+/// Asserts the unbounded case: a stalled reader blocks reclamation, so the
+/// residue scales with the churn (EBR; also the leaky baseline, which
+/// additionally never drains).
+pub fn assert_unbounded(r: &StallReport) {
+    assert!(
+        r.stalled_flush_unreclaimed as u64 >= r.churned / 2,
+        "{}: only {} of {} churned objects unreclaimed under a stalled reader — \
+         expected reclamation to be blocked",
+        r.scheme,
+        r.stalled_flush_unreclaimed,
+        r.churned,
+    );
+}
+
+/// Calls `flush` until `unreclaimed()` reaches 0 or `attempts` runs out.
+pub fn drain<S: Smr>(smr: &S, attempts: usize) -> bool {
+    for _ in 0..attempts {
+        if smr.unreclaimed() == 0 {
+            return true;
+        }
+        smr.flush();
+        std::thread::yield_now();
+    }
+    smr.unreclaimed() == 0
+}
+
+fn churn_set<T: ConcurrentSet<u64>>(set: &T, threads: usize, iters: u64, seed: u64) {
+    std::thread::scope(|sc| {
+        for t in 0..threads {
+            let set = &*set;
+            sc.spawn(move || {
+                let mut rng = XorShift64::new(seed ^ ((t as u64 + 1) << 32) ^ iters);
+                for _ in 0..iters {
+                    let k = rng.next_bounded(64);
+                    match rng.next_bounded(4) {
+                        0 | 1 => {
+                            set.add(k);
+                        }
+                        2 => {
+                            set.remove(&k);
+                        }
+                        _ => {
+                            set.contains(&k);
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Leak-ledger battery for one (scheme × set-structure) pair: churn under
+/// a [`Ledger`], flush, drop, and assert allocations == frees.
+pub fn churn_set_ledgered<S, T>(smr: S, label: &str, threads: usize, iters: u64)
+where
+    S: Smr + Clone,
+    T: SmrSet<S>,
+{
+    let ledger = Ledger::open();
+    {
+        let set = T::with_smr(smr.clone());
+        churn_set(&set, threads, iters, 0x5e7_c4e8);
+        let s = SmrSet::smr(&set);
+        if s.name() != "None" {
+            assert!(
+                drain(s, 400),
+                "{label}: flush left {} objects unreclaimed",
+                s.unreclaimed()
+            );
+        }
+    }
+    // The structure freed its remaining nodes in Drop; the last scheme
+    // handle frees anything still parked (the leaky baseline's stash).
+    drop(smr);
+    ledger.assert_balanced(label);
+}
+
+/// Leak-ledger battery for one (scheme × queue-structure) pair.
+pub fn churn_queue_ledgered<S, T>(smr: S, label: &str, threads: usize, iters: u64)
+where
+    S: Smr + Clone,
+    T: SmrQueue<S>,
+{
+    let ledger = Ledger::open();
+    {
+        let q = T::with_smr(smr.clone());
+        std::thread::scope(|sc| {
+            for t in 0..threads {
+                let q = &q;
+                sc.spawn(move || {
+                    let mut rng = XorShift64::new(0x9_c4e8 ^ ((t as u64 + 1) << 24));
+                    for i in 0..iters {
+                        if rng.next_bounded(2) == 0 {
+                            q.enqueue(i);
+                        } else {
+                            q.dequeue();
+                        }
+                    }
+                });
+            }
+        });
+        while q.dequeue().is_some() {}
+        let s = SmrQueue::smr(&q);
+        if s.name() != "None" {
+            assert!(
+                drain(s, 400),
+                "{label}: flush left {} objects unreclaimed",
+                s.unreclaimed()
+            );
+        }
+    }
+    drop(smr);
+    ledger.assert_balanced(label);
+}
+
+/// Leak-ledger battery for an OrcGC-annotated structure (set flavor): the
+/// domain is process-global, so balance is reached by flushing this
+/// thread's handover slots until the ledger settles.
+pub fn churn_orc_set_ledgered<T, F>(make: F, label: &str, threads: usize, iters: u64)
+where
+    T: ConcurrentSet<u64>,
+    F: FnOnce() -> T,
+{
+    let ledger = Ledger::open();
+    {
+        let set = make();
+        churn_set(&set, threads, iters, 0x0c_97c5);
+    }
+    settle_orc(&ledger, label);
+}
+
+/// Leak-ledger battery for an OrcGC-annotated queue.
+pub fn churn_orc_queue_ledgered<T, F>(make: F, label: &str, threads: usize, iters: u64)
+where
+    T: ConcurrentQueue<u64>,
+    F: FnOnce() -> T,
+{
+    let ledger = Ledger::open();
+    {
+        let q = make();
+        std::thread::scope(|sc| {
+            for t in 0..threads {
+                let q = &q;
+                sc.spawn(move || {
+                    let mut rng = XorShift64::new(0x0c_97c6 ^ ((t as u64 + 1) << 24));
+                    for i in 0..iters {
+                        if rng.next_bounded(2) == 0 {
+                            q.enqueue(i);
+                        } else {
+                            q.dequeue();
+                        }
+                    }
+                });
+            }
+        });
+        while q.dequeue().is_some() {}
+    }
+    settle_orc(&ledger, label);
+}
+
+fn settle_orc(ledger: &Ledger, label: &str) {
+    for _ in 0..400 {
+        if ledger.delta().is_balanced() {
+            break;
+        }
+        orcgc::flush_thread();
+        std::thread::yield_now();
+    }
+    ledger.assert_balanced(label);
+}
+
+/// Oversubscription soak: `waves` successive spawn/join waves of
+/// `threads_per_wave` short-lived threads (intended to be ≫ cores) churn
+/// one shared set. Exercises registry tid reuse, per-thread state
+/// re-attachment, and thread-exit orphan handoff — then the usual
+/// flush/drop/ledger teardown.
+pub fn oversubscription_soak<S, T>(
+    smr: S,
+    label: &str,
+    waves: usize,
+    threads_per_wave: usize,
+    iters: u64,
+) where
+    S: Smr + Clone,
+    T: SmrSet<S>,
+{
+    assert!(
+        threads_per_wave < registry::MAX_THREADS,
+        "soak sizing exceeds the registry capacity"
+    );
+    let ledger = Ledger::open();
+    {
+        let set = T::with_smr(smr.clone());
+        for wave in 0..waves {
+            churn_set(&set, threads_per_wave, iters, 0x50a_c000 + wave as u64);
+            assert!(
+                registry::registered_watermark() <= registry::MAX_THREADS,
+                "{label}: registry watermark escaped its bound"
+            );
+        }
+        let s = SmrSet::smr(&set);
+        if s.name() != "None" {
+            assert!(
+                drain(s, 400),
+                "{label}: flush left {} objects unreclaimed",
+                s.unreclaimed()
+            );
+        }
+    }
+    drop(smr);
+    ledger.assert_balanced(label);
+}
+
+/// ABA hammer over a set: a tiny key universe (8 keys) forces every node
+/// address to be freed and re-allocated constantly, so a stale (recycled)
+/// pointer surviving a CAS would corrupt the list. Per-key conservation
+/// counts (successful adds − successful removes) must equal the final
+/// membership exactly.
+pub fn aba_hammer_set<S, T>(smr: S, label: &str, threads: usize, iters: u64)
+where
+    S: Smr + Clone,
+    T: SmrSet<S>,
+{
+    const KEYS: u64 = 8;
+    let ledger = Ledger::open();
+    {
+        let set = T::with_smr(smr.clone());
+        let net: Vec<AtomicI64> = (0..KEYS).map(|_| AtomicI64::new(0)).collect();
+        std::thread::scope(|sc| {
+            for t in 0..threads {
+                let set = &set;
+                let net = &net;
+                sc.spawn(move || {
+                    let mut rng = XorShift64::new(0xaba ^ ((t as u64 + 1) << 40));
+                    for _ in 0..iters {
+                        let k = rng.next_bounded(KEYS);
+                        if rng.next_bounded(2) == 0 {
+                            if set.add(k) {
+                                net[k as usize].fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else if set.remove(&k) {
+                            net[k as usize].fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        for (k, n) in net.iter().enumerate() {
+            let n = n.load(Ordering::Relaxed);
+            assert!(
+                n == 0 || n == 1,
+                "{label}: key {k} net count {n} — a node was lost or duplicated (ABA)"
+            );
+            assert_eq!(
+                n == 1,
+                set.contains(&(k as u64)),
+                "{label}: key {k} membership disagrees with its conservation count"
+            );
+        }
+        let s = SmrSet::smr(&set);
+        if s.name() != "None" {
+            assert!(
+                drain(s, 400),
+                "{label}: flush left {} objects unreclaimed",
+                s.unreclaimed()
+            );
+        }
+    }
+    drop(smr);
+    ledger.assert_balanced(label);
+}
+
+/// ABA hammer over a queue: producers enqueue a known arithmetic series,
+/// consumers drain it; the dequeued sum must match exactly (no lost or
+/// duplicated items) and the queue must end empty.
+pub fn aba_hammer_queue<S, T>(smr: S, label: &str, producers: usize, consumers: usize, per: u64)
+where
+    S: Smr + Clone,
+    T: SmrQueue<S>,
+{
+    let ledger = Ledger::open();
+    {
+        let q = T::with_smr(smr.clone());
+        let want = producers as u64 * per;
+        let expected: u64 = (0..want).sum();
+        let sum = AtomicU64::new(0);
+        let got = AtomicU64::new(0);
+        std::thread::scope(|sc| {
+            for p in 0..producers {
+                let q = &q;
+                sc.spawn(move || {
+                    for i in 0..per {
+                        q.enqueue(p as u64 * per + i);
+                    }
+                });
+            }
+            for _ in 0..consumers {
+                let q = &q;
+                let sum = &sum;
+                let got = &got;
+                sc.spawn(move || {
+                    while got.load(Ordering::SeqCst) < want {
+                        if let Some(v) = q.dequeue() {
+                            sum.fetch_add(v, Ordering::SeqCst);
+                            got.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            sum.load(Ordering::SeqCst),
+            expected,
+            "{label}: dequeued sum mismatch — items were lost or duplicated (ABA)"
+        );
+        assert_eq!(q.dequeue(), None, "{label}: queue not empty after drain");
+        let s = SmrQueue::smr(&q);
+        if s.name() != "None" {
+            assert!(
+                drain(s, 400),
+                "{label}: flush left {} objects unreclaimed",
+                s.unreclaimed()
+            );
+        }
+    }
+    drop(smr);
+    ledger.assert_balanced(label);
+}

@@ -22,8 +22,24 @@ pub fn rss_bytes() -> u64 {
     let Ok(pages): Result<u64, _> = resident_pages.parse() else {
         return 0;
     };
-    let page = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
-    pages * page.max(0) as u64
+    pages * page_size()
+}
+
+/// Page size from the ELF auxiliary vector (`AT_PAGESZ`), read without
+/// libc so the workspace stays dependency-free; falls back to 4 KiB where
+/// `/proc/self/auxv` is unavailable (non-Linux, locked-down containers).
+pub fn page_size() -> u64 {
+    const AT_PAGESZ: u64 = 6;
+    if let Ok(auxv) = std::fs::read("/proc/self/auxv") {
+        for pair in auxv.chunks_exact(16) {
+            let key = u64::from_ne_bytes(pair[..8].try_into().unwrap());
+            let val = u64::from_ne_bytes(pair[8..].try_into().unwrap());
+            if key == AT_PAGESZ && val != 0 {
+                return val;
+            }
+        }
+    }
+    4096
 }
 
 /// Snapshot of both memory views.

@@ -4,12 +4,11 @@
 //! aligned human-readable table (mirroring the paper's figure series) and
 //! can dump JSON lines for plotting.
 
-use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::time::Duration;
 
 /// One benchmark data point (one figure series entry).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Which experiment (e.g. "fig1-queues").
     pub experiment: String,
@@ -23,10 +22,8 @@ pub struct Measurement {
     /// Million operations per second.
     pub mops: f64,
     /// Optional memory metric (bytes) for the footprint experiments.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub mem_bytes: Option<i64>,
     /// Optional unreclaimed-objects metric for the bound experiments.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub max_unreclaimed: Option<i64>,
 }
 
@@ -63,9 +60,49 @@ impl Measurement {
         self
     }
 
+    /// Serializes to one JSON object (hand-rolled: the workspace builds
+    /// without external dependencies, so there is no serde). `None`
+    /// metrics are omitted, matching the previous serde output.
     pub fn json(&self) -> String {
-        serde_json::to_string(self).expect("measurement serializes")
+        let mut out = String::with_capacity(160);
+        out.push('{');
+        json_str(&mut out, "experiment", &self.experiment);
+        out.push(',');
+        json_str(&mut out, "series", &self.series);
+        out.push(',');
+        json_str(&mut out, "workload", &self.workload);
+        out.push_str(&format!(
+            ",\"threads\":{},\"ops\":{},\"elapsed_s\":{},\"mops\":{}",
+            self.threads, self.ops, self.elapsed_s, self.mops
+        ));
+        if let Some(b) = self.mem_bytes {
+            out.push_str(&format!(",\"mem_bytes\":{b}"));
+        }
+        if let Some(n) = self.max_unreclaimed {
+            out.push_str(&format!(",\"max_unreclaimed\":{n}"));
+        }
+        out.push('}');
+        out
     }
+}
+
+/// Appends `"key":"value"` with JSON string escaping.
+fn json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Prints the table header for a figure.
@@ -135,12 +172,24 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip() {
+    fn json_shape() {
         let m = Measurement::new("e", "s", "w", 1, 10, Duration::from_millis(5)).with_mem(1024);
-        let back: Measurement = serde_json::from_str(&m.json()).unwrap();
-        assert_eq!(back.series, "s");
-        assert_eq!(back.mem_bytes, Some(1024));
-        assert_eq!(back.max_unreclaimed, None);
+        let j = m.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"experiment\":\"e\""));
+        assert!(j.contains("\"series\":\"s\""));
+        assert!(j.contains("\"threads\":1"));
+        assert!(j.contains("\"mem_bytes\":1024"));
+        assert!(!j.contains("max_unreclaimed"), "None metrics are omitted");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let m = Measurement::new("e\"q", "s\\b", "w\n", 1, 1, Duration::from_millis(1));
+        let j = m.json();
+        assert!(j.contains("e\\\"q"), "quote escaped: {j}");
+        assert!(j.contains("s\\\\b"), "backslash escaped: {j}");
+        assert!(j.contains("w\\n"), "newline escaped: {j}");
     }
 
     #[test]

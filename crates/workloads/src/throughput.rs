@@ -92,11 +92,13 @@ pub fn queue_pairs<Q: ConcurrentQueue<u64> + 'static>(
 /// essential for the (unbalanced) external BST, which degenerates to a
 /// linked list under sorted insertion.
 pub fn prefill_set<S: ConcurrentSet<u64> + ?Sized>(set: &S, key_range: u64) {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
     let mut keys: Vec<u64> = (0..key_range).step_by(2).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x07C6C ^ key_range);
-    keys.shuffle(&mut rng);
+    // Fisher–Yates with the in-tree generator (deterministic per range).
+    let mut rng = XorShift64::new(0x07C6C ^ key_range);
+    for i in (1..keys.len()).rev() {
+        let j = rng.next_bounded(i as u64 + 1) as usize;
+        keys.swap(i, j);
+    }
     for k in keys {
         set.add(k);
     }

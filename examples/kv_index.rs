@@ -8,7 +8,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use structures::tree::NmTreeOrc;
-use structures::ConcurrentSet;
 
 fn main() {
     let index = Arc::new(NmTreeOrc::new());

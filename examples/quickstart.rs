@@ -7,7 +7,6 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use orcgc_suite::prelude::*;
 use std::sync::Arc;
 use structures::list::MichaelListOrc;
 use structures::queue::MsQueueOrc;

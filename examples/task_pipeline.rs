@@ -12,7 +12,6 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use structures::queue::{KpQueueOrc, LcrqOrc};
-use structures::ConcurrentQueue;
 
 const ITEMS: u64 = 50_000;
 

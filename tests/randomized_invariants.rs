@@ -1,0 +1,243 @@
+//! Randomized property tests over the core invariants: the `_orc` word
+//! encoding, marked-pointer algebra, DWCAS packing, and sequential
+//! equivalence of sets/queues against model collections under arbitrary
+//! operation sequences.
+//!
+//! Driven by the in-tree [`orc_util::rng::XorShift64`] generator instead
+//! of `proptest`, so the workspace builds and tests with zero external
+//! dependencies (see README "Building offline & CI"). Seeds are fixed,
+//! so every run exercises the same deterministic case set.
+
+use orc_util::rng::XorShift64;
+use orcgc::word;
+use orcgc_suite::prelude::*;
+use structures::list::{HarrisListOrc, MichaelList, MichaelListOrc};
+use structures::queue::{LcrqOrc, MsQueueOrc};
+use structures::skiplist::CrfSkipListOrc;
+use structures::tree::NmTreeOrc;
+
+const CASES: u64 = 64;
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Add(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn set_ops(rng: &mut XorShift64, max_key: u64) -> Vec<SetOp> {
+    let len = rng.next_bounded(200) as usize;
+    (0..len)
+        .map(|_| {
+            let k = rng.next_bounded(max_key);
+            match rng.next_bounded(3) {
+                0 => SetOp::Add(k),
+                1 => SetOp::Remove(k),
+                _ => SetOp::Contains(k),
+            }
+        })
+        .collect()
+}
+
+fn check_set<S: ConcurrentSet<u64>>(set: &S, ops: &[SetOp]) {
+    let mut model = std::collections::BTreeSet::new();
+    for op in ops {
+        match op {
+            SetOp::Add(k) => assert_eq!(set.add(*k), model.insert(*k), "add({k})"),
+            SetOp::Remove(k) => assert_eq!(set.remove(k), model.remove(k), "remove({k})"),
+            SetOp::Contains(k) => assert_eq!(set.contains(k), model.contains(k), "contains({k})"),
+        }
+    }
+}
+
+// ---- the _orc word encoding --------------------------------------
+
+#[test]
+fn orc_counter_roundtrips() {
+    let mut rng = XorShift64::new(0x0AC1);
+    for _ in 0..CASES {
+        let incs = rng.next_bounded(2000) as u32;
+        let decs = rng.next_bounded(2000) as u32;
+        let mut w = word::ORC_INIT;
+        for _ in 0..incs {
+            w = w.wrapping_add(word::SEQ + 1);
+        }
+        for _ in 0..decs {
+            w = w.wrapping_add(word::SEQ - 1);
+        }
+        assert_eq!(word::link_count(w), incs as i64 - decs as i64);
+        assert_eq!(word::seq(w), (incs + decs) as u64);
+        assert_eq!(word::is_zero_unclaimed(w), incs == decs);
+    }
+}
+
+#[test]
+fn orc_retired_bit_is_orthogonal() {
+    let mut rng = XorShift64::new(0x0AC2);
+    for _ in 0..CASES {
+        let incs = rng.next_bounded(1000) as u32;
+        let mut w = word::ORC_INIT;
+        for _ in 0..incs {
+            w = w.wrapping_add(word::SEQ + 1);
+        }
+        let claimed = w + word::BRETIRED;
+        assert_eq!(word::link_count(claimed), word::link_count(w));
+        assert_eq!(word::seq(claimed), word::seq(w));
+        assert!(!word::is_zero_unclaimed(claimed));
+    }
+}
+
+// ---- marked pointers ---------------------------------------------
+
+#[test]
+fn marks_never_change_the_target() {
+    use orc_util::marked::*;
+    let mut rng = XorShift64::new(0x0AC3);
+    for _ in 0..CASES {
+        let addr = (rng.next_u64() as usize % (usize::MAX / 8)) << 3;
+        assert_eq!(unmark(mark(addr)), addr);
+        assert_eq!(unmark(tag(addr)), addr);
+        assert_eq!(unmark(tag(mark(addr))), addr);
+        assert!(is_marked(mark(addr)));
+        assert!(is_tagged(tag(addr)));
+        assert!(!is_marked(tag(addr)) || addr & 1 != 0);
+    }
+}
+
+#[test]
+fn with_tag_is_idempotent() {
+    use orc_util::marked::*;
+    let mut rng = XorShift64::new(0x0AC4);
+    for _ in 0..CASES {
+        let addr = (rng.next_u64() as usize % (usize::MAX / 8)) << 3;
+        let bits = rng.next_bounded(4) as usize;
+        let w = with_tag(addr, bits);
+        assert_eq!(with_tag(w, bits), w);
+        assert_eq!(tag_bits(w), bits);
+        assert_eq!(unmark(w), addr);
+    }
+}
+
+// ---- DWCAS packing -------------------------------------------------
+
+#[test]
+fn dwcas_pack_unpack() {
+    let mut rng = XorShift64::new(0x0AC5);
+    for _ in 0..CASES {
+        let (lo, hi) = (rng.next_u64(), rng.next_u64());
+        let v = orc_util::dwcas::pack(lo, hi);
+        assert_eq!(orc_util::dwcas::unpack(v), (lo, hi));
+    }
+}
+
+#[test]
+fn dwcas_cell_semantics() {
+    use orc_util::dwcas::{pack, AtomicU128};
+    let mut rng = XorShift64::new(0x0AC6);
+    for _ in 0..CASES {
+        let init = pack(rng.next_u64(), rng.next_u64());
+        let new = pack(rng.next_u64(), rng.next_u64());
+        let cell = AtomicU128::new(init);
+        assert_eq!(cell.load(), init);
+        let (prev, ok) = cell.compare_exchange(init, new);
+        assert!(ok);
+        assert_eq!(prev, init);
+        let (prev2, ok2) = cell.compare_exchange(init, new);
+        assert_eq!(ok2, init == new);
+        assert_eq!(prev2, new);
+    }
+}
+
+// ---- sequential equivalence of every set -------------------------
+
+#[test]
+fn michael_list_orc_matches_model() {
+    let mut rng = XorShift64::new(0x0AC7);
+    for _ in 0..CASES {
+        let ops = set_ops(&mut rng, 64);
+        check_set(&MichaelListOrc::new(), &ops);
+        orcgc::flush_thread();
+    }
+}
+
+#[test]
+fn harris_list_orc_matches_model() {
+    let mut rng = XorShift64::new(0x0AC8);
+    for _ in 0..CASES {
+        let ops = set_ops(&mut rng, 64);
+        check_set(&HarrisListOrc::new(), &ops);
+        orcgc::flush_thread();
+    }
+}
+
+#[test]
+fn nm_tree_orc_matches_model() {
+    let mut rng = XorShift64::new(0x0AC9);
+    for _ in 0..CASES {
+        let ops = set_ops(&mut rng, 64);
+        check_set(&NmTreeOrc::new(), &ops);
+        orcgc::flush_thread();
+    }
+}
+
+#[test]
+fn crf_skip_matches_model() {
+    let mut rng = XorShift64::new(0x0ACA);
+    for _ in 0..CASES {
+        let ops = set_ops(&mut rng, 64);
+        check_set(&CrfSkipListOrc::new(), &ops);
+        orcgc::flush_thread();
+    }
+}
+
+#[test]
+fn michael_list_hp_matches_model() {
+    let mut rng = XorShift64::new(0x0ACB);
+    for _ in 0..CASES {
+        let ops = set_ops(&mut rng, 64);
+        check_set(&MichaelList::new(HazardPointers::new()), &ops);
+    }
+}
+
+#[test]
+fn michael_list_ptp_matches_model() {
+    let mut rng = XorShift64::new(0x0ACC);
+    for _ in 0..CASES {
+        let ops = set_ops(&mut rng, 64);
+        check_set(&MichaelList::new(PassThePointer::new()), &ops);
+    }
+}
+
+// ---- queues against VecDeque --------------------------------------
+
+fn check_queue<Q: ConcurrentQueue<u64>>(q: &Q, rng: &mut XorShift64) {
+    let mut model = std::collections::VecDeque::new();
+    let len = rng.next_bounded(200);
+    for _ in 0..len {
+        if rng.next_bounded(2) == 0 {
+            let v = rng.next_bounded(1000);
+            q.enqueue(v);
+            model.push_back(v);
+        } else {
+            assert_eq!(q.dequeue(), model.pop_front());
+        }
+    }
+}
+
+#[test]
+fn ms_queue_orc_matches_model() {
+    let mut rng = XorShift64::new(0x0ACD);
+    for _ in 0..CASES {
+        check_queue(&MsQueueOrc::new(), &mut rng);
+        orcgc::flush_thread();
+    }
+}
+
+#[test]
+fn lcrq_matches_model() {
+    let mut rng = XorShift64::new(0x0ACE);
+    for _ in 0..CASES {
+        check_queue(&LcrqOrc::new(), &mut rng);
+        orcgc::flush_thread();
+    }
+}

@@ -1,0 +1,73 @@
+//! Teardown discipline, per scheme: after a churn, `flush()` must drive
+//! `unreclaimed()` to exactly 0 (the leaky baseline: only at drop), and
+//! dropping the structure + the last scheme handle must return every
+//! allocation — verified against the global allocation ledger.
+//!
+//! One test per scheme so a regression names its culprit directly.
+
+use orc_util::track::Ledger;
+use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
+use structures::list::MichaelList;
+
+/// Churn that forces real retire traffic: insert, delete, re-insert.
+fn churn<S: Smr + Clone>(smr: S) {
+    let ledger = Ledger::open();
+    let name = smr.name();
+    {
+        let list = MichaelList::new(smr.clone());
+        for round in 0..3u64 {
+            for k in 0..256u64 {
+                assert!(list.add(k), "{name}: add({k}) failed in round {round}");
+            }
+            for k in 0..256u64 {
+                assert!(
+                    list.remove(&k),
+                    "{name}: remove({k}) failed in round {round}"
+                );
+            }
+        }
+        list.smr().flush();
+        if name != "None" {
+            assert_eq!(
+                list.smr().unreclaimed(),
+                0,
+                "{name}: quiescent flush must reclaim every retired node"
+            );
+        } else {
+            // The leaky baseline holds everything until teardown.
+            assert_eq!(list.smr().unreclaimed(), 3 * 256);
+        }
+    }
+    drop(smr);
+    ledger.assert_balanced(name);
+}
+
+#[test]
+fn hp_teardown_is_clean() {
+    churn(HazardPointers::new());
+}
+
+#[test]
+fn ptb_teardown_is_clean() {
+    churn(PassTheBuck::new());
+}
+
+#[test]
+fn ptp_teardown_is_clean() {
+    churn(PassThePointer::new());
+}
+
+#[test]
+fn he_teardown_is_clean() {
+    churn(HazardEras::new());
+}
+
+#[test]
+fn ebr_teardown_is_clean() {
+    churn(Ebr::new());
+}
+
+#[test]
+fn leaky_teardown_is_clean() {
+    churn(Leaky::new());
+}
