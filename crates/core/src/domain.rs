@@ -22,6 +22,7 @@
 
 use crate::header::OrcHeader;
 use crate::word::{is_zero_retired, is_zero_unclaimed, BRETIRED, SEQ};
+use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track, CachePadded};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -73,6 +74,8 @@ pub struct Domain {
     /// Retired-but-not-deleted high-water metrics.
     retired_now: AtomicU64,
     retired_max: AtomicU64,
+    /// Reclamation telemetry (orc-stats); see [`Domain::stats`].
+    stats: SchemeStats,
 }
 
 unsafe impl Sync for Domain {}
@@ -87,6 +90,7 @@ impl Domain {
             max_hps: AtomicUsize::new(1),
             retired_now: AtomicU64::new(0),
             retired_max: AtomicU64::new(0),
+            stats: SchemeStats::new(),
         }
     }
 
@@ -98,22 +102,34 @@ impl Domain {
     // ---- accounting ---------------------------------------------------
 
     #[inline]
-    pub(crate) fn note_retired(&self) {
+    pub(crate) fn note_retired(&self, tid: usize) {
         let now = self.retired_now.fetch_add(1, Ordering::Relaxed) + 1;
         self.retired_max.fetch_max(now, Ordering::Relaxed);
+        self.stats.bump(tid, Event::Retire);
+        self.stats.note_unreclaimed(now);
         track::global().on_retire();
     }
 
+    /// A claim relinquished without deletion (`clearBitRetired` found the
+    /// counter nonzero). Counted as a reclaim so that at quiescence
+    /// `retires - reclaims == unreclaimed()` holds exactly.
     #[inline]
-    fn note_unretired(&self) {
+    fn note_unretired(&self, tid: usize) {
         self.retired_now.fetch_sub(1, Ordering::Relaxed);
+        self.stats.bump(tid, Event::Reclaim);
         track::global().on_reclaim();
     }
 
     #[inline]
-    fn note_destroyed(&self) {
+    fn note_destroyed(&self, tid: usize) {
         self.retired_now.fetch_sub(1, Ordering::Relaxed);
+        self.stats.bump(tid, Event::Reclaim);
         track::global().on_reclaim();
+    }
+
+    /// Aggregated domain telemetry (see [`crate::domain_stats`]).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
     }
 
     /// Objects currently claimed-retired but not yet deleted.
@@ -192,6 +208,7 @@ impl Domain {
                 orc_util::stall::hit(orc_util::stall::StallPoint::Protect);
                 return word;
             }
+            self.stats.bump(tid, Event::ProtectRetry);
             word = cur;
         }
     }
@@ -230,7 +247,7 @@ impl Domain {
                         .is_ok()
                 }
             {
-                self.note_retired();
+                self.note_retired(tid);
                 // Drop our protection before retiring so the scan does not
                 // park the object straight back onto this slot.
                 self.tl(tid).hp[idx as usize].store(0, Ordering::Release);
@@ -271,7 +288,7 @@ impl Domain {
                 .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
         } {
-            self.note_retired();
+            self.note_retired(tid);
             self.retire(tid, h);
         }
     }
@@ -292,7 +309,7 @@ impl Domain {
                     .is_ok()
             }
         {
-            self.note_retired();
+            self.note_retired(tid);
             scratch.store(0, Ordering::Release);
             self.retire(tid, h);
         } else {
@@ -318,6 +335,8 @@ impl Domain {
             return;
         }
         *started = true;
+        self.stats.bump(tid, Event::Scan);
+        let mut destroyed = 0u64;
         let mut h = first;
         let mut i = 0usize;
         loop {
@@ -332,7 +351,7 @@ impl Domain {
                     }
                 }
                 loop {
-                    if self.try_handover(&mut h) {
+                    if self.try_handover(tid, &mut h) {
                         continue 'obj;
                     }
                     let lorc2 = unsafe { (*h).orc.load(Ordering::SeqCst) };
@@ -341,7 +360,8 @@ impl Domain {
                         // OrcAtomic fields drop here, feeding
                         // recursive_list through nested retire calls.
                         unsafe { OrcHeader::destroy(h) };
-                        self.note_destroyed();
+                        self.note_destroyed(tid);
+                        destroyed += 1;
                         break 'obj;
                     }
                     if !is_zero_retired(lorc2) {
@@ -363,12 +383,15 @@ impl Domain {
         }
         unsafe { (*tl.recursive_list.get()).clear() };
         *started = false;
+        // One retire pass = one reclamation batch (the recursive cascade
+        // included), matching the batch semantics of the manual schemes.
+        self.stats.batch(tid, destroyed);
     }
 
     /// `tryHandover` (Algorithm 6): scan every published hazard pointer up
     /// to the slot watermark; on a match, exchange the object into the
     /// matching handover entry and take over whatever was parked there.
-    fn try_handover(&self, h: &mut *mut OrcHeader) -> bool {
+    fn try_handover(&self, tid: usize, h: &mut *mut OrcHeader) -> bool {
         let lmax = self.max_hps.load(Ordering::Acquire);
         let wm = registry::registered_watermark();
         let word = *h as usize;
@@ -377,6 +400,7 @@ impl Domain {
             for idx in 0..lmax {
                 if tl.hp[idx].load(Ordering::SeqCst) == word {
                     let prev = tl.handovers[idx].swap(word, Ordering::SeqCst);
+                    self.stats.bump(tid, Event::Handover);
                     *h = prev as *mut OrcHeader;
                     return true;
                 }
@@ -400,7 +424,7 @@ impl Domain {
             } {
             lorc + BRETIRED
         } else {
-            self.note_unretired();
+            self.note_unretired(tid);
             0
         };
         scratch.store(0, Ordering::Release);
@@ -413,6 +437,7 @@ impl Domain {
     /// Clears all hazard slots of `tid` and drains every handover entry.
     /// Runs on thread exit and from [`crate::flush_thread`].
     pub(crate) fn flush_thread_slots(&self, tid: usize) {
+        self.stats.bump(tid, Event::Flush);
         let lmax = self.max_hps.load(Ordering::Acquire);
         for idx in 0..lmax {
             // Only release slots not currently claimed by live OrcPtrs.

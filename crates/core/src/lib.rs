@@ -124,6 +124,19 @@ pub fn flush_thread() {
     domain().flush_thread_slots(tid);
 }
 
+/// Aggregated reclamation telemetry (orc-stats) for the process-wide OrcGC
+/// domain: retires (BRETIRED claims), reclaims (deletions plus relinquished
+/// claims), retire-scan passes, protect validation retries, handovers,
+/// batch-size histogram and the peak of [`Domain::unreclaimed`]. All zeros
+/// when `ORC_STATS=0`.
+///
+/// At quiescence `retires - reclaims == domain().unreclaimed()` holds
+/// exactly, mirroring the `Smr::stats` contract of the manual schemes in
+/// the `reclaim` crate.
+pub fn domain_stats() -> orc_util::stats::StatsSnapshot {
+    domain().stats()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,12 +19,16 @@
 //!   & CI").
 //! * [`stall`] — stalled-reader fault injection used by the torture
 //!   harness to validate the paper's unreclaimed-memory bounds.
+//! * [`stats`] — orc-stats: per-thread sharded reclamation telemetry
+//!   (retires, reclaims, scans, protect retries, handovers, batch-size
+//!   histograms) behind an `ORC_STATS=0` kill-switch.
 
 pub mod dwcas;
 pub mod marked;
 pub mod registry;
 pub mod rng;
 pub mod stall;
+pub mod stats;
 pub mod sync;
 pub mod track;
 

@@ -1,0 +1,438 @@
+//! Reclamation telemetry (orc-stats).
+//!
+//! The paper's whole evaluation (§6, Figs. 1–8) is about *observed*
+//! reclamation behavior — throughput, retired-but-unreclaimed counts,
+//! memory footprint — yet a single `unreclaimed()` gauge cannot explain
+//! *why* a scheme costs what it costs. This module provides the
+//! dependency-free, lock-free counters every scheme in the workspace
+//! feeds:
+//!
+//! * **per-thread sharded counters** — one cache-line-padded slot per
+//!   registry tid (the same dense-tid layout the hazard arrays use), so
+//!   the hot-path cost of an event is a single relaxed add with no
+//!   cross-thread contention;
+//! * **power-of-two histograms** of reclamation batch sizes — whether a
+//!   scheme frees in dribbles (PTP: batch = 1) or avalanches (EBR: whole
+//!   limbo bins) is exactly what separates their latency profiles;
+//! * a **peak-unreclaimed watermark** (`fetch_max`), the number the
+//!   paper's Table 1 bounds.
+//!
+//! Aggregation ([`SchemeStats::snapshot`]) sums the shards into a plain
+//! [`StatsSnapshot`] — the uniform currency returned by `Smr::stats()`
+//! and `orcgc::domain_stats()` and consumed by the torture harness, the
+//! bench records and the `orcstat` example.
+//!
+//! # Kill switch
+//!
+//! Setting `ORC_STATS=0` (or `false`/`off`) in the environment disables
+//! every recording call for the life of the process: the first event
+//! latches the flag into a static, after which each call is a single
+//! relaxed load and a predicted-not-taken branch — measured noise for
+//! overhead-sensitive runs. Counting is **on** by default.
+//!
+//! # Exactness contract
+//!
+//! Schemes pair every `unreclaimed += 1` with [`Event::Retire`] and every
+//! `unreclaimed -= 1` with [`Event::Reclaim`], so at quiescence (no
+//! in-flight operations) the invariant
+//! `retires − reclaims == unreclaimed()` holds exactly, and
+//! `reclaims ≤ retires` holds at all times. The torture harness asserts
+//! both across the whole battery.
+
+use crate::registry;
+use crate::CachePadded;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Number of power-of-two buckets in the batch-size histogram; bucket `i`
+/// counts batches of size `[2^i, 2^(i+1))`, with the last bucket open.
+pub const BATCH_BUCKETS: usize = 32;
+
+/// One countable reclamation event.
+///
+/// The variants cover every scheme in the workspace; schemes simply never
+/// bump the events that do not apply to them (EBR has no handovers, PTP
+/// has no flush-driven scans beyond its matrix walks, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Event {
+    /// An object entered the scheme's retired-but-unfreed set.
+    Retire = 0,
+    /// An object left the retired set (freed, or for OrcGC the rare
+    /// unretire transition when the counter moved after the claim).
+    Reclaim = 1,
+    /// One scan / liberate / collect / handover-matrix pass.
+    Scan = 2,
+    /// One explicit `flush()` call.
+    Flush = 3,
+    /// One failed validation iteration inside a protect loop (the
+    /// published word changed under the reader and the loop retried).
+    ProtectRetry = 4,
+    /// One object parked into (or displaced through) a handover /
+    /// handoff slot (PTP, PTB, OrcGC).
+    Handover = 5,
+}
+
+const EVENTS: usize = 6;
+
+/// Per-tid shard: event counters plus the batch-size histogram. Padded so
+/// adjacent tids never share a cache line.
+struct Shard {
+    counters: [AtomicU64; EVENTS],
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Sharded telemetry counters for one scheme instance (or the OrcGC
+/// domain). See the module docs for layout and cost.
+pub struct SchemeStats {
+    shards: Box<[CachePadded<Shard>]>,
+    /// Process-wide high-water mark of the owner's `unreclaimed` gauge.
+    peak_unreclaimed: AtomicU64,
+}
+
+impl SchemeStats {
+    pub fn new() -> Self {
+        Self {
+            shards: (0..registry::max_threads())
+                .map(|_| CachePadded::new(Shard::new()))
+                .collect(),
+            peak_unreclaimed: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one `ev` on the calling thread's shard (`tid` must be the
+    /// caller's registry tid — every scheme hot path already has it).
+    #[inline]
+    pub fn bump(&self, tid: usize, ev: Event) {
+        if enabled() {
+            self.shards[tid].counters[ev as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` occurrences of `ev` at once (scan loops count locally
+    /// and publish a single add).
+    #[inline]
+    pub fn add(&self, tid: usize, ev: Event, n: u64) {
+        if n != 0 && enabled() {
+            self.shards[tid].counters[ev as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one reclamation batch of `n` objects freed together.
+    #[inline]
+    pub fn batch(&self, tid: usize, n: u64) {
+        if n != 0 && enabled() {
+            self.shards[tid].batch_hist[bucket_of(n)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds the owner's current `unreclaimed` gauge into the peak
+    /// watermark.
+    #[inline]
+    pub fn note_unreclaimed(&self, now: u64) {
+        if enabled() {
+            self.peak_unreclaimed.fetch_max(now, Ordering::Relaxed);
+        }
+    }
+
+    /// Sums every shard into a point-in-time [`StatsSnapshot`].
+    ///
+    /// Counters are relaxed, so a snapshot taken during churn is
+    /// approximate (each individual counter is exact-eventually); at
+    /// quiescence it is exact.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut s = StatsSnapshot::default();
+        for shard in self.shards.iter() {
+            s.retires += shard.counters[Event::Retire as usize].load(Ordering::Relaxed);
+            s.reclaims += shard.counters[Event::Reclaim as usize].load(Ordering::Relaxed);
+            s.scans += shard.counters[Event::Scan as usize].load(Ordering::Relaxed);
+            s.flushes += shard.counters[Event::Flush as usize].load(Ordering::Relaxed);
+            s.protect_retries +=
+                shard.counters[Event::ProtectRetry as usize].load(Ordering::Relaxed);
+            s.handovers += shard.counters[Event::Handover as usize].load(Ordering::Relaxed);
+            for (acc, b) in s.batch_hist.iter_mut().zip(shard.batch_hist.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+        }
+        s.peak_unreclaimed = self.peak_unreclaimed.load(Ordering::Relaxed);
+        s
+    }
+}
+
+impl Default for SchemeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Histogram bucket for a batch of `n ≥ 1`: `floor(log2 n)`, capped.
+#[inline]
+fn bucket_of(n: u64) -> usize {
+    ((63 - n.leading_zeros()) as usize).min(BATCH_BUCKETS - 1)
+}
+
+// Kill-switch state: 0 = unread, 1 = enabled, 2 = disabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether telemetry recording is on (`ORC_STATS` unset or not one of
+/// `0`/`false`/`off`). Latched on first call; a relaxed load afterwards.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = parse_enabled(std::env::var("ORC_STATS").ok().as_deref());
+            ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// `ORC_STATS` parsing: only explicit `0`, `false` or `off` disable.
+fn parse_enabled(v: Option<&str>) -> bool {
+    !matches!(
+        v.map(str::trim),
+        Some("0") | Some("false") | Some("off") | Some("FALSE") | Some("OFF")
+    )
+}
+
+/// Aggregated, uniform view of one scheme's telemetry — the return type
+/// of `Smr::stats()` and `orcgc::domain_stats()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Objects that entered the retired set.
+    pub retires: u64,
+    /// Objects that left the retired set (freed or unretired).
+    pub reclaims: u64,
+    /// Scan / liberate / collect / matrix-walk passes.
+    pub scans: u64,
+    /// Explicit `flush()` calls.
+    pub flushes: u64,
+    /// Failed protect-loop validation iterations.
+    pub protect_retries: u64,
+    /// Handover / handoff transfers (PTP, PTB, OrcGC).
+    pub handovers: u64,
+    /// High-water mark of the scheme's `unreclaimed` gauge.
+    pub peak_unreclaimed: u64,
+    /// Power-of-two reclamation batch sizes: `batch_hist[i]` counts
+    /// batches of `[2^i, 2^(i+1))` objects freed in one pass.
+    pub batch_hist: [u64; BATCH_BUCKETS],
+}
+
+impl Default for StatsSnapshot {
+    fn default() -> Self {
+        Self {
+            retires: 0,
+            reclaims: 0,
+            scans: 0,
+            flushes: 0,
+            protect_retries: 0,
+            handovers: 0,
+            peak_unreclaimed: 0,
+            batch_hist: [0; BATCH_BUCKETS],
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// `retires − reclaims`: at quiescence, exactly the scheme's
+    /// `unreclaimed()` gauge (saturating under mid-churn skew).
+    pub fn outstanding(&self) -> u64 {
+        self.retires.saturating_sub(self.reclaims)
+    }
+
+    /// Total reclamation batches recorded in the histogram.
+    pub fn batches(&self) -> u64 {
+        self.batch_hist.iter().sum()
+    }
+
+    /// Mean objects freed per batch (0.0 when no batches ran).
+    pub fn mean_batch(&self) -> f64 {
+        let b = self.batches();
+        if b == 0 {
+            0.0
+        } else {
+            self.reclaims as f64 / b as f64
+        }
+    }
+
+    /// Counter movement since `base` (peak is carried, not differenced —
+    /// it is a watermark, not a counter).
+    pub fn since(&self, base: &StatsSnapshot) -> StatsSnapshot {
+        let mut d = StatsSnapshot {
+            retires: self.retires.saturating_sub(base.retires),
+            reclaims: self.reclaims.saturating_sub(base.reclaims),
+            scans: self.scans.saturating_sub(base.scans),
+            flushes: self.flushes.saturating_sub(base.flushes),
+            protect_retries: self.protect_retries.saturating_sub(base.protect_retries),
+            handovers: self.handovers.saturating_sub(base.handovers),
+            peak_unreclaimed: self.peak_unreclaimed,
+            batch_hist: [0; BATCH_BUCKETS],
+        };
+        for (i, b) in d.batch_hist.iter_mut().enumerate() {
+            *b = self.batch_hist[i].saturating_sub(base.batch_hist[i]);
+        }
+        d
+    }
+
+    /// True when every counter of `self` is ≥ the matching counter of
+    /// `earlier` — snapshots of a live instance must be monotone.
+    pub fn is_monotone_since(&self, earlier: &StatsSnapshot) -> bool {
+        self.retires >= earlier.retires
+            && self.reclaims >= earlier.reclaims
+            && self.scans >= earlier.scans
+            && self.flushes >= earlier.flushes
+            && self.protect_retries >= earlier.protect_retries
+            && self.handovers >= earlier.handovers
+            && self.peak_unreclaimed >= earlier.peak_unreclaimed
+            && self
+                .batch_hist
+                .iter()
+                .zip(earlier.batch_hist.iter())
+                .all(|(a, b)| a >= b)
+    }
+
+    /// One-line human summary for progress output.
+    pub fn summary(&self) -> String {
+        format!(
+            "retires {} reclaims {} scans {} flushes {} retries {} handovers {} peak {} mean-batch {:.1}",
+            self.retires,
+            self.reclaims,
+            self.scans,
+            self.flushes,
+            self.protect_retries,
+            self.handovers,
+            self.peak_unreclaimed,
+            self.mean_batch(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_is_floor_log2() {
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(7), 2);
+        assert_eq!(bucket_of(8), 3);
+        assert_eq!(bucket_of(u64::MAX), BATCH_BUCKETS - 1);
+    }
+
+    #[test]
+    fn parse_enabled_defaults_on() {
+        assert!(parse_enabled(None));
+        assert!(parse_enabled(Some("1")));
+        assert!(parse_enabled(Some("yes")));
+        assert!(!parse_enabled(Some("0")));
+        assert!(!parse_enabled(Some(" 0 ")));
+        assert!(!parse_enabled(Some("false")));
+        assert!(!parse_enabled(Some("off")));
+        assert!(!parse_enabled(Some("OFF")));
+    }
+
+    #[test]
+    fn events_accumulate_into_snapshot() {
+        let s = SchemeStats::new();
+        let tid = registry::tid();
+        for _ in 0..5 {
+            s.bump(tid, Event::Retire);
+        }
+        s.add(tid, Event::Reclaim, 3);
+        s.bump(tid, Event::Scan);
+        s.bump(tid, Event::Flush);
+        s.bump(tid, Event::ProtectRetry);
+        s.bump(tid, Event::Handover);
+        s.batch(tid, 3);
+        s.note_unreclaimed(5);
+        s.note_unreclaimed(2); // watermark must not regress
+        let snap = s.snapshot();
+        assert_eq!(snap.retires, 5);
+        assert_eq!(snap.reclaims, 3);
+        assert_eq!(snap.scans, 1);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.protect_retries, 1);
+        assert_eq!(snap.handovers, 1);
+        assert_eq!(snap.outstanding(), 2);
+        assert_eq!(snap.peak_unreclaimed, 5);
+        assert_eq!(snap.batches(), 1);
+        assert_eq!(snap.batch_hist[1], 1, "batch of 3 lands in [2,4)");
+        assert!((snap.mean_batch() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shards_merge_across_threads() {
+        let s = std::sync::Arc::new(SchemeStats::new());
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let tid = registry::tid();
+                    for _ in 0..1_000 {
+                        s.bump(tid, Event::Retire);
+                        s.bump(tid, Event::Reclaim);
+                    }
+                    s.batch(tid, 1_000);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.retires, 4_000);
+        assert_eq!(snap.reclaims, 4_000);
+        assert_eq!(snap.batches(), 4);
+        assert_eq!(snap.outstanding(), 0);
+    }
+
+    #[test]
+    fn since_and_monotone() {
+        let s = SchemeStats::new();
+        let tid = registry::tid();
+        s.bump(tid, Event::Retire);
+        let a = s.snapshot();
+        s.bump(tid, Event::Retire);
+        s.bump(tid, Event::Reclaim);
+        s.batch(tid, 1);
+        let b = s.snapshot();
+        assert!(b.is_monotone_since(&a));
+        assert!(!a.is_monotone_since(&b));
+        let d = b.since(&a);
+        assert_eq!(d.retires, 1);
+        assert_eq!(d.reclaims, 1);
+        assert_eq!(d.batches(), 1);
+    }
+
+    #[test]
+    fn zero_counts_are_ignored() {
+        let s = SchemeStats::new();
+        let tid = registry::tid();
+        s.add(tid, Event::Reclaim, 0);
+        s.batch(tid, 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.reclaims, 0);
+        assert_eq!(snap.batches(), 0);
+    }
+
+    #[test]
+    fn summary_is_one_line() {
+        let snap = StatsSnapshot::default();
+        let line = snap.summary();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("retires 0"));
+    }
+}

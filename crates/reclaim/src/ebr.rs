@@ -12,6 +12,7 @@
 use crate::hazard::{ExitHooks, OrphanStack, PerThread};
 use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
 use crate::Smr;
+use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track, CachePadded};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -37,6 +38,7 @@ struct Inner {
     orphans: OrphanStack,
     hooks: ExitHooks,
     unreclaimed: AtomicUsize,
+    stats: SchemeStats,
 }
 
 /// Epoch-based reclamation.
@@ -58,6 +60,7 @@ impl Ebr {
                 orphans: OrphanStack::new(),
                 hooks: ExitHooks::new(),
                 unreclaimed: AtomicUsize::new(0),
+                stats: SchemeStats::new(),
             }),
         }
     }
@@ -120,6 +123,7 @@ impl Inner {
 
     /// Frees the limbo bin that is two epochs stale.
     fn collect(&self, tid: usize, epoch: u64) {
+        self.stats.bump(tid, Event::Scan);
         let st = unsafe { self.threads.get_mut(tid) };
         // Adopt orphans into the *current* bin: we don't know their retire
         // epoch, so conservatively treat them as retired now (they wait the
@@ -136,6 +140,8 @@ impl Inner {
             track::global().on_reclaim();
         }
         self.unreclaimed.fetch_sub(n, Ordering::Relaxed);
+        self.stats.add(tid, Event::Reclaim, n as u64);
+        self.stats.batch(tid, n as u64);
     }
 
     fn thread_exit(&self, tid: usize) {
@@ -211,7 +217,9 @@ impl Smr for Ebr {
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
         let tid = self.attach();
         let h = unsafe { SmrHeader::of_value(ptr) };
-        self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed);
+        let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.stats.bump(tid, Event::Retire);
+        self.inner.stats.note_unreclaimed(now as u64);
         track::global().on_retire();
         let e = self.inner.global_epoch.load(Ordering::SeqCst);
         let st = unsafe { self.inner.threads.get_mut(tid) };
@@ -226,6 +234,7 @@ impl Smr for Ebr {
 
     fn flush(&self) {
         let tid = self.attach();
+        self.inner.stats.bump(tid, Event::Flush);
         // Unpinned flush can advance up to three times, emptying all bins
         // if no other thread is pinned behind.
         for _ in 0..3 {
@@ -236,6 +245,10 @@ impl Smr for Ebr {
 
     fn unreclaimed(&self) -> usize {
         self.inner.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
     }
 
     /// EBR's retire is blocking: a stalled pinned thread stops reclamation.

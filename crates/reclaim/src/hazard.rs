@@ -8,6 +8,7 @@
 use crate::header::SmrHeader;
 use crate::MAX_HPS;
 use orc_util::registry;
+use orc_util::stats::{Event, SchemeStats};
 use orc_util::CachePadded;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
@@ -65,8 +66,17 @@ impl SlotArray {
     /// Carries the stalled-reader injection point of HP, PTB and PTP: the
     /// stall fires *after* the protection is published and validated, i.e.
     /// while the victim demonstrably pins the object.
+    ///
+    /// Each failed validation (the link moved under the reader) is
+    /// recorded as an [`Event::ProtectRetry`] on `stats`.
     #[inline]
-    pub fn protect_loop(&self, tid: usize, idx: usize, addr: &AtomicUsize) -> usize {
+    pub fn protect_loop(
+        &self,
+        tid: usize,
+        idx: usize,
+        addr: &AtomicUsize,
+        stats: &SchemeStats,
+    ) -> usize {
         let mut word = addr.load(Ordering::SeqCst);
         loop {
             self.publish(tid, idx, orc_util::marked::unmark(word));
@@ -75,6 +85,7 @@ impl SlotArray {
                 orc_util::stall::hit(orc_util::stall::StallPoint::Protect);
                 return word;
             }
+            stats.bump(tid, Event::ProtectRetry);
             word = cur;
         }
     }
@@ -289,18 +300,25 @@ mod tests {
     fn protect_loop_returns_stable_word() {
         let tid = registry::tid();
         let s = SlotArray::new();
+        let stats = SchemeStats::new();
         let addr = AtomicUsize::new(0xAB00);
-        let w = s.protect_loop(tid, 1, &addr);
+        let w = s.protect_loop(tid, 1, &addr, &stats);
         assert_eq!(w, 0xAB00);
         assert_eq!(s.get(tid, 1).load(Ordering::SeqCst), 0xAB00);
+        assert_eq!(
+            stats.snapshot().protect_retries,
+            0,
+            "a stable word validates first try"
+        );
     }
 
     #[test]
     fn protect_loop_strips_marks_from_publication() {
         let tid = registry::tid();
         let s = SlotArray::new();
+        let stats = SchemeStats::new();
         let addr = AtomicUsize::new(orc_util::marked::mark(0xAB00));
-        let w = s.protect_loop(tid, 2, &addr);
+        let w = s.protect_loop(tid, 2, &addr, &stats);
         assert!(orc_util::marked::is_marked(w));
         assert_eq!(s.get(tid, 2).load(Ordering::SeqCst), 0xAB00);
     }

@@ -15,6 +15,7 @@
 use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
 use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
 use crate::{Smr, MAX_HPS};
+use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -41,6 +42,7 @@ struct Inner {
     orphans: OrphanStack,
     hooks: ExitHooks,
     unreclaimed: AtomicUsize,
+    stats: SchemeStats,
     threshold_base: usize,
 }
 
@@ -63,6 +65,7 @@ impl HazardEras {
                 orphans: OrphanStack::new(),
                 hooks: ExitHooks::new(),
                 unreclaimed: AtomicUsize::new(0),
+                stats: SchemeStats::new(),
                 threshold_base,
             }),
         }
@@ -115,6 +118,7 @@ impl Inner {
     }
 
     fn scan(&self, tid: usize) {
+        self.stats.bump(tid, Event::Scan);
         let st = unsafe { self.threads.get_mut(tid) };
         for h in self.orphans.drain() {
             st.retired.push(h);
@@ -135,6 +139,7 @@ impl Inner {
         }
         scratch.sort_unstable();
         let mut kept = Vec::with_capacity(retired.len());
+        let mut freed = 0u64;
         for &h in retired.iter() {
             let birth = unsafe { (*h).birth_era };
             let del = unsafe { (*h).del_era.load(Ordering::Relaxed) };
@@ -147,8 +152,11 @@ impl Inner {
                 unsafe { destroy_tracked(h) };
                 self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
                 track::global().on_reclaim();
+                freed += 1;
             }
         }
+        self.stats.add(tid, Event::Reclaim, freed);
+        self.stats.batch(tid, freed);
         *retired = kept;
     }
 
@@ -210,6 +218,13 @@ impl Smr for HazardEras {
                 orc_util::stall::hit(orc_util::stall::StallPoint::Protect);
                 return word;
             }
+            // The clock moved past an existing reservation: another
+            // publish-and-revalidate round, HE's analogue of the pointer
+            // schemes' failed validation. (prev == 0 is the initial
+            // publication, not a retry.)
+            if prev != 0 {
+                self.inner.stats.bump(tid, Event::ProtectRetry);
+            }
             res.swap(era as usize, Ordering::SeqCst);
             prev = era;
         }
@@ -238,7 +253,9 @@ impl Smr for HazardEras {
         let h = unsafe { SmrHeader::of_value(ptr) };
         let era = self.inner.era_clock.load(Ordering::SeqCst);
         unsafe { (*h).del_era.store(era, Ordering::Relaxed) };
-        self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed);
+        let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.stats.bump(tid, Event::Retire);
+        self.inner.stats.note_unreclaimed(now as u64);
         track::global().on_retire();
         let st = unsafe { self.inner.threads.get_mut(tid) };
         st.retired.push(h);
@@ -254,12 +271,17 @@ impl Smr for HazardEras {
 
     fn flush(&self) {
         let tid = self.attach();
+        self.inner.stats.bump(tid, Event::Flush);
         self.inner.era_clock.fetch_add(1, Ordering::SeqCst);
         self.inner.scan(tid);
     }
 
     fn unreclaimed(&self) -> usize {
         self.inner.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
     }
 
     fn is_lock_free(&self) -> bool {

@@ -11,6 +11,7 @@
 use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
 use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
 use crate::{Smr, MAX_HPS};
+use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -31,6 +32,7 @@ struct Inner {
     orphans: OrphanStack,
     hooks: ExitHooks,
     unreclaimed: AtomicUsize,
+    stats: SchemeStats,
     /// Retired-list length that triggers a scan, per thread.
     threshold_base: usize,
 }
@@ -56,6 +58,7 @@ impl HazardPointers {
                 orphans: OrphanStack::new(),
                 hooks: ExitHooks::new(),
                 unreclaimed: AtomicUsize::new(0),
+                stats: SchemeStats::new(),
                 threshold_base,
             }),
         }
@@ -104,6 +107,7 @@ impl Inner {
 
     /// Frees every entry of `tid`'s retired list not currently protected.
     fn scan(&self, tid: usize) {
+        self.stats.bump(tid, Event::Scan);
         let st = unsafe { self.threads.get_mut(tid) };
         // Adopt orphaned retirements from exited threads.
         for h in self.orphans.drain() {
@@ -113,6 +117,7 @@ impl Inner {
         self.slots.collect(scratch);
         scratch.sort_unstable();
         let mut kept = Vec::with_capacity(retired.len());
+        let mut freed = 0u64;
         for &h in retired.iter() {
             if scratch
                 .binary_search(&unsafe { SmrHeader::value_word(h) })
@@ -123,8 +128,11 @@ impl Inner {
                 unsafe { destroy_tracked(h) };
                 self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
                 track::global().on_reclaim();
+                freed += 1;
             }
         }
+        self.stats.add(tid, Event::Reclaim, freed);
+        self.stats.batch(tid, freed);
         *retired = kept;
     }
 
@@ -173,7 +181,9 @@ impl Smr for HazardPointers {
     #[inline]
     fn protect(&self, idx: usize, addr: &AtomicUsize) -> usize {
         let tid = self.attach();
-        self.inner.slots.protect_loop(tid, idx, addr)
+        self.inner
+            .slots
+            .protect_loop(tid, idx, addr, &self.inner.stats)
     }
 
     #[inline]
@@ -193,7 +203,9 @@ impl Smr for HazardPointers {
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
         let tid = self.attach();
         let h = unsafe { SmrHeader::of_value(ptr) };
-        self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed);
+        let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.stats.bump(tid, Event::Retire);
+        self.inner.stats.note_unreclaimed(now as u64);
         track::global().on_retire();
         let st = unsafe { self.inner.threads.get_mut(tid) };
         st.retired.push(h);
@@ -204,11 +216,16 @@ impl Smr for HazardPointers {
 
     fn flush(&self) {
         let tid = self.attach();
+        self.inner.stats.bump(tid, Event::Flush);
         self.inner.scan(tid);
     }
 
     fn unreclaimed(&self) -> usize {
         self.inner.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
     }
 
     fn is_lock_free(&self) -> bool {

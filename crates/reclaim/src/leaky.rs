@@ -14,7 +14,8 @@
 use crate::hazard::OrphanStack;
 use crate::header::{destroy_tracked, SmrHeader};
 use crate::Smr;
-use orc_util::{stall, track};
+use orc_util::stats::{self, Event, SchemeStats, StatsSnapshot};
+use orc_util::{registry, stall, track};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +23,7 @@ struct Inner {
     /// Everything ever retired; freed wholesale in `Drop`.
     retired: OrphanStack,
     count: AtomicUsize,
+    stats: SchemeStats,
 }
 
 impl Drop for Inner {
@@ -45,6 +47,7 @@ impl Leaky {
             inner: Arc::new(Inner {
                 retired: OrphanStack::new(),
                 count: AtomicUsize::new(0),
+                stats: SchemeStats::new(),
             }),
         }
     }
@@ -90,7 +93,12 @@ impl Smr for Leaky {
     fn clear(&self, _idx: usize) {}
 
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
-        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        let now = self.inner.count.fetch_add(1, Ordering::Relaxed) + 1;
+        if stats::enabled() {
+            let tid = registry::tid();
+            self.inner.stats.bump(tid, Event::Retire);
+            self.inner.stats.note_unreclaimed(now as u64);
+        }
         track::global().on_retire();
         unsafe { self.inner.retired.push(SmrHeader::of_value(ptr)) };
     }
@@ -99,10 +107,20 @@ impl Smr for Leaky {
         unsafe { crate::header::destroy_tracked(SmrHeader::of_value(ptr)) };
     }
 
-    fn flush(&self) {}
+    fn flush(&self) {
+        // Nothing to reclaim — the pass is still counted so consumers can
+        // see the baseline was flushed like every other scheme.
+        if stats::enabled() {
+            self.inner.stats.bump(registry::tid(), Event::Flush);
+        }
+    }
 
     fn unreclaimed(&self) -> usize {
         self.inner.count.load(Ordering::Relaxed)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
     }
 
     fn is_lock_free(&self) -> bool {

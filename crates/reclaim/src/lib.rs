@@ -43,6 +43,13 @@ pub mod ptp;
 /// The machinery lives in `orc_util` so the OrcGC domain shares it.
 pub use orc_util::stall;
 
+/// Reclamation telemetry (orc-stats). Every scheme feeds a per-instance
+/// [`stats::SchemeStats`] and exposes the aggregate via [`Smr::stats`];
+/// `ORC_STATS=0` disables recording process-wide. The machinery lives in
+/// `orc_util` so the OrcGC domain shares it.
+pub use orc_util::stats;
+pub use orc_util::stats::StatsSnapshot;
+
 pub use ebr::Ebr;
 pub use he::HazardEras;
 pub use header::{as_word, SmrHeader};
@@ -134,6 +141,18 @@ pub trait Smr: Send + Sync + 'static {
 
     /// Objects currently retired by this instance but not yet freed.
     fn unreclaimed(&self) -> usize;
+
+    /// Aggregated reclamation telemetry for this scheme instance: retire
+    /// and reclaim counts, scan/flush passes, protect validation retries,
+    /// handovers, batch-size histogram and the peak of
+    /// [`Smr::unreclaimed`]. All zeros when `ORC_STATS=0`.
+    ///
+    /// At quiescence every scheme satisfies `reclaims ≤ retires` and
+    /// `retires − reclaims == unreclaimed()` (asserted by the torture
+    /// battery's invariant tests).
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
 
     /// Whether `retire` has lock-free (or better) progress, as claimed in
     /// Table 1.

@@ -21,6 +21,7 @@ use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
 use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
 use crate::{Smr, MAX_HPS};
 use orc_util::dwcas::{pack, unpack, AtomicU128};
+use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track, CachePadded};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -40,6 +41,7 @@ struct Inner {
     orphans: OrphanStack,
     hooks: ExitHooks,
     unreclaimed: AtomicUsize,
+    stats: SchemeStats,
     threshold_base: usize,
 }
 
@@ -64,6 +66,7 @@ impl PassTheBuck {
                 orphans: OrphanStack::new(),
                 hooks: ExitHooks::new(),
                 unreclaimed: AtomicUsize::new(0),
+                stats: SchemeStats::new(),
                 threshold_base,
             }),
         }
@@ -113,7 +116,7 @@ impl Inner {
     /// Attempts to hand `h` off to a guard trapping it; returns the
     /// displaced occupant (to be re-liberated) on success, or `h` itself if
     /// no guard traps it (caller frees).
-    fn liberate_one(&self, mut h: *mut SmrHeader) -> Option<*mut SmrHeader> {
+    fn liberate_one(&self, tid: usize, mut h: *mut SmrHeader) -> Option<*mut SmrHeader> {
         let wm = registry::registered_watermark();
         let mut it = 0;
         while it < wm {
@@ -136,6 +139,7 @@ impl Inner {
                         let (_, ok) =
                             slot.compare_exchange(cur, pack(h as u64, ver.wrapping_add(1)));
                         if ok {
+                            self.stats.bump(tid, Event::Handover);
                             let displaced = old_ptr as *mut SmrHeader;
                             if displaced.is_null() {
                                 return None;
@@ -161,18 +165,23 @@ impl Inner {
     }
 
     fn liberate(&self, tid: usize) {
+        self.stats.bump(tid, Event::Scan);
         let st = unsafe { self.threads.get_mut(tid) };
         for h in self.orphans.drain() {
             st.retired.push(h);
         }
         let candidates: Vec<_> = st.retired.drain(..).collect();
+        let mut freed = 0u64;
         for h in candidates {
-            if let Some(free) = self.liberate_one(h) {
+            if let Some(free) = self.liberate_one(tid, h) {
                 unsafe { destroy_tracked(free) };
                 self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
                 track::global().on_reclaim();
+                freed += 1;
             }
         }
+        self.stats.add(tid, Event::Reclaim, freed);
+        self.stats.batch(tid, freed);
     }
 
     /// Clears guard `(tid, idx)` and reclaims/requeues its handoff value.
@@ -190,10 +199,12 @@ impl Inner {
                 let h = ptr as *mut SmrHeader;
                 // The guard is down; nothing traps it here any more, but
                 // another guard might — re-liberate.
-                if let Some(free) = self.liberate_one(h) {
+                if let Some(free) = self.liberate_one(tid, h) {
                     unsafe { destroy_tracked(free) };
                     self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
                     track::global().on_reclaim();
+                    self.stats.bump(tid, Event::Reclaim);
+                    self.stats.batch(tid, 1);
                 }
                 return;
             }
@@ -257,7 +268,9 @@ impl Smr for PassTheBuck {
     #[inline]
     fn protect(&self, idx: usize, addr: &AtomicUsize) -> usize {
         let tid = self.attach();
-        self.inner.guards.protect_loop(tid, idx, addr)
+        self.inner
+            .guards
+            .protect_loop(tid, idx, addr, &self.inner.stats)
     }
 
     #[inline]
@@ -277,7 +290,9 @@ impl Smr for PassTheBuck {
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
         let tid = self.attach();
         let h = unsafe { SmrHeader::of_value(ptr) };
-        self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed);
+        let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.stats.bump(tid, Event::Retire);
+        self.inner.stats.note_unreclaimed(now as u64);
         track::global().on_retire();
         let st = unsafe { self.inner.threads.get_mut(tid) };
         st.retired.push(h);
@@ -288,11 +303,16 @@ impl Smr for PassTheBuck {
 
     fn flush(&self) {
         let tid = self.attach();
+        self.inner.stats.bump(tid, Event::Flush);
         self.inner.liberate(tid);
     }
 
     fn unreclaimed(&self) -> usize {
         self.inner.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
     }
 
     fn is_lock_free(&self) -> bool {

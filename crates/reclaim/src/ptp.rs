@@ -28,6 +28,7 @@
 use crate::hazard::{ExitHooks, SlotArray};
 use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
 use crate::{Smr, MAX_HPS};
+use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -39,6 +40,7 @@ struct Inner {
     handovers: SlotArray,
     hooks: ExitHooks,
     unreclaimed: AtomicUsize,
+    stats: SchemeStats,
 }
 
 /// Pass-the-pointer manual reclamation (PPoPP '21, Algorithm 2).
@@ -54,6 +56,7 @@ impl PassThePointer {
                 handovers: SlotArray::new(),
                 hooks: ExitHooks::new(),
                 unreclaimed: AtomicUsize::new(0),
+                stats: SchemeStats::new(),
             }),
         }
     }
@@ -94,7 +97,8 @@ impl Inner {
     /// Algorithm 2, `handoverOrDelete`: walk the hazard matrix from row
     /// `start`; hand the object to any slot protecting it; delete at the
     /// end of the walk.
-    fn handover_or_delete(&self, mut h: *mut SmrHeader, start: usize) {
+    fn handover_or_delete(&self, tid: usize, mut h: *mut SmrHeader, start: usize) {
+        self.stats.bump(tid, Event::Scan);
         let wm = registry::registered_watermark();
         let mut it = start;
         while it < wm {
@@ -107,6 +111,7 @@ impl Inner {
                         .handovers
                         .get(it, idx)
                         .swap(h as usize, Ordering::SeqCst);
+                    self.stats.bump(tid, Event::Handover);
                     if prev == 0 {
                         return;
                     }
@@ -126,6 +131,8 @@ impl Inner {
         unsafe { destroy_tracked(h) };
         self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
         track::global().on_reclaim();
+        self.stats.bump(tid, Event::Reclaim);
+        self.stats.batch(tid, 1);
     }
 
     /// Clears `hp[tid][idx]` and continues the retirement of any pointer
@@ -135,7 +142,7 @@ impl Inner {
         if self.handovers.get(tid, idx).load(Ordering::SeqCst) != 0 {
             let parked = self.handovers.get(tid, idx).swap(0, Ordering::SeqCst);
             if parked != 0 {
-                self.handover_or_delete(parked as *mut SmrHeader, tid);
+                self.handover_or_delete(tid, parked as *mut SmrHeader, tid);
             }
         }
     }
@@ -182,7 +189,9 @@ impl Smr for PassThePointer {
     #[inline]
     fn protect(&self, idx: usize, addr: &AtomicUsize) -> usize {
         let tid = self.attach();
-        self.inner.hp.protect_loop(tid, idx, addr)
+        self.inner
+            .hp
+            .protect_loop(tid, idx, addr, &self.inner.stats)
     }
 
     #[inline]
@@ -200,18 +209,21 @@ impl Smr for PassThePointer {
     }
 
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
-        self.attach();
+        let tid = self.attach();
         let h = unsafe { SmrHeader::of_value(ptr) };
-        self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed);
+        let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.stats.bump(tid, Event::Retire);
+        self.inner.stats.note_unreclaimed(now as u64);
         track::global().on_retire();
         // Algorithm 2, line 22: the walk starts at row 0.
-        self.inner.handover_or_delete(h, 0);
+        self.inner.handover_or_delete(tid, h, 0);
     }
 
     fn flush(&self) {
         // PTP keeps no retired lists; nothing to drain beyond our own
         // handover entries, which clear() already services.
         let tid = self.attach();
+        self.inner.stats.bump(tid, Event::Flush);
         for idx in 0..MAX_HPS {
             if self.inner.hp.get(tid, idx).load(Ordering::SeqCst) == 0 {
                 self.inner.clear_slot(tid, idx);
@@ -221,6 +233,10 @@ impl Smr for PassThePointer {
 
     fn unreclaimed(&self) -> usize {
         self.inner.unreclaimed.load(Ordering::Relaxed)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
     }
 
     fn is_lock_free(&self) -> bool {

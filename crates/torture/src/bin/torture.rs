@@ -58,6 +58,7 @@ fn report(r: &torture::StallReport) {
         "  {:<5} churned {:>7}  peak {:>7}  stalled-flush {:>7}  drained {}",
         r.scheme, r.churned, r.max_unreclaimed, r.stalled_flush_unreclaimed, r.drained
     );
+    println!("        stats: {}", r.stats.summary());
 }
 
 fn ledger_battery(cfg: &Config) {
@@ -66,20 +67,20 @@ fn ledger_battery(cfg: &Config) {
     // the only handles so teardown frees (the leaky stash) land inside it.
     fn one<S: Smr + Clone>(make: impl Fn() -> S, cfg: &Config) {
         let name = make().name();
-        churn_set_ledgered::<S, MichaelList<u64, S>>(
+        let s = churn_set_ledgered::<S, MichaelList<u64, S>>(
             make(),
             &format!("{name}/MichaelList"),
             cfg.threads,
             cfg.iters,
         );
-        println!("  {name:<5} MichaelList balanced");
-        churn_queue_ledgered::<S, MsQueue<u64, S>>(
+        println!("  {name:<5} MichaelList balanced  [{}]", s.summary());
+        let s = churn_queue_ledgered::<S, MsQueue<u64, S>>(
             make(),
             &format!("{name}/MSQueue"),
             cfg.threads,
             cfg.iters,
         );
-        println!("  {name:<5} MSQueue     balanced");
+        println!("  {name:<5} MSQueue     balanced  [{}]", s.summary());
     }
     one(HazardPointers::new, cfg);
     one(PassTheBuck::new, cfg);
@@ -88,20 +89,20 @@ fn ledger_battery(cfg: &Config) {
     one(Ebr::new, cfg);
     one(Leaky::new, cfg);
 
-    churn_orc_set_ledgered(
+    let s = churn_orc_set_ledgered(
         MichaelListOrc::<u64>::new,
         "OrcGC/MichaelListOrc",
         cfg.threads,
         cfg.iters,
     );
-    println!("  OrcGC MichaelListOrc balanced");
-    churn_orc_queue_ledgered(
+    println!("  OrcGC MichaelListOrc balanced  [{}]", s.summary());
+    let s = churn_orc_queue_ledgered(
         MsQueueOrc::<u64>::new,
         "OrcGC/MSQueueOrc",
         cfg.threads,
         cfg.iters,
     );
-    println!("  OrcGC MSQueueOrc     balanced");
+    println!("  OrcGC MSQueueOrc     balanced  [{}]", s.summary());
 }
 
 fn soak_battery(cfg: &Config) {

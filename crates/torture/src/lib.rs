@@ -28,7 +28,7 @@ use orc_util::registry;
 use orc_util::rng::XorShift64;
 use orc_util::stall::{self, Gate, StallPoint};
 use orc_util::track::Ledger;
-use reclaim::{Smr, MAX_HPS};
+use reclaim::{Smr, StatsSnapshot, MAX_HPS};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -100,6 +100,9 @@ pub struct StallReport {
     /// Whether `unreclaimed()` reached 0 after the victim was released
     /// (always `false` for the leaky baseline).
     pub drained: bool,
+    /// The scheme's orc-stats snapshot taken after the drain attempt (all
+    /// zeros when `ORC_STATS=0`).
+    pub stats: StatsSnapshot,
 }
 
 /// Ceiling for a bounded scheme's stalled-flush residue: per-writer
@@ -192,6 +195,7 @@ pub fn stalled_reader_churn<S: Smr + Clone>(smr: S, writers: usize, rounds: u64)
     );
 
     let drained = drain(&smr, 400);
+    let stats = smr.stats();
 
     // Quiescent now: free the nodes still sitting in the shared slots.
     for slot in slots.iter() {
@@ -207,6 +211,7 @@ pub fn stalled_reader_churn<S: Smr + Clone>(smr: S, writers: usize, rounds: u64)
             .max(stalled_flush_unreclaimed),
         stalled_flush_unreclaimed,
         drained,
+        stats,
     }
 }
 
@@ -281,8 +286,10 @@ fn churn_set<T: ConcurrentSet<u64>>(set: &T, threads: usize, iters: u64, seed: u
 }
 
 /// Leak-ledger battery for one (scheme × set-structure) pair: churn under
-/// a [`Ledger`], flush, drop, and assert allocations == frees.
-pub fn churn_set_ledgered<S, T>(smr: S, label: &str, threads: usize, iters: u64)
+/// a [`Ledger`], flush, drop, and assert allocations == frees. Returns the
+/// scheme's orc-stats snapshot from just before the final teardown, so
+/// callers can assert telemetry invariants on top of the leak balance.
+pub fn churn_set_ledgered<S, T>(smr: S, label: &str, threads: usize, iters: u64) -> StatsSnapshot
 where
     S: Smr + Clone,
     T: SmrSet<S>,
@@ -300,14 +307,17 @@ where
             );
         }
     }
+    let stats = smr.stats();
     // The structure freed its remaining nodes in Drop; the last scheme
     // handle frees anything still parked (the leaky baseline's stash).
     drop(smr);
     ledger.assert_balanced(label);
+    stats
 }
 
-/// Leak-ledger battery for one (scheme × queue-structure) pair.
-pub fn churn_queue_ledgered<S, T>(smr: S, label: &str, threads: usize, iters: u64)
+/// Leak-ledger battery for one (scheme × queue-structure) pair. Returns
+/// the scheme's orc-stats snapshot like [`churn_set_ledgered`].
+pub fn churn_queue_ledgered<S, T>(smr: S, label: &str, threads: usize, iters: u64) -> StatsSnapshot
 where
     S: Smr + Clone,
     T: SmrQueue<S>,
@@ -340,32 +350,49 @@ where
             );
         }
     }
+    let stats = smr.stats();
     drop(smr);
     ledger.assert_balanced(label);
+    stats
 }
 
 /// Leak-ledger battery for an OrcGC-annotated structure (set flavor): the
 /// domain is process-global, so balance is reached by flushing this
-/// thread's handover slots until the ledger settles.
-pub fn churn_orc_set_ledgered<T, F>(make: F, label: &str, threads: usize, iters: u64)
+/// thread's handover slots until the ledger settles. Returns the *delta*
+/// of [`orcgc::domain_stats`] across the battery (the domain outlives it).
+pub fn churn_orc_set_ledgered<T, F>(
+    make: F,
+    label: &str,
+    threads: usize,
+    iters: u64,
+) -> StatsSnapshot
 where
     T: ConcurrentSet<u64>,
     F: FnOnce() -> T,
 {
+    let base = orcgc::domain_stats();
     let ledger = Ledger::open();
     {
         let set = make();
         churn_set(&set, threads, iters, 0x0c_97c5);
     }
     settle_orc(&ledger, label);
+    orcgc::domain_stats().since(&base)
 }
 
-/// Leak-ledger battery for an OrcGC-annotated queue.
-pub fn churn_orc_queue_ledgered<T, F>(make: F, label: &str, threads: usize, iters: u64)
+/// Leak-ledger battery for an OrcGC-annotated queue. Returns the domain
+/// stats delta like [`churn_orc_set_ledgered`].
+pub fn churn_orc_queue_ledgered<T, F>(
+    make: F,
+    label: &str,
+    threads: usize,
+    iters: u64,
+) -> StatsSnapshot
 where
     T: ConcurrentQueue<u64>,
     F: FnOnce() -> T,
 {
+    let base = orcgc::domain_stats();
     let ledger = Ledger::open();
     {
         let q = make();
@@ -387,6 +414,7 @@ where
         while q.dequeue().is_some() {}
     }
     settle_orc(&ledger, label);
+    orcgc::domain_stats().since(&base)
 }
 
 fn settle_orc(ledger: &Ledger, label: &str) {

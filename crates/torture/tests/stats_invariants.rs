@@ -1,0 +1,190 @@
+//! orc-stats invariants across the torture leak-ledger battery.
+//!
+//! The telemetry contract (see `orc_util::stats`): every scheme pairs
+//! `unreclaimed += 1` with a Retire event and every `-= 1` with a
+//! Reclaim event, so
+//!
+//! * `reclaims ≤ retires` holds at all times, and
+//! * at quiescence `retires − reclaims == unreclaimed()` holds exactly.
+//!
+//! The per-scheme micro-tests live in `reclaim/tests/stats.rs`; here the
+//! same invariants are asserted on top of the *full* ledgered churn
+//! battery (multi-threaded, structure-driven, teardown included), which
+//! is exactly the run the ISSUE's acceptance bar names.
+
+use reclaim::StatsSnapshot;
+use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
+use structures::list::{MichaelList, MichaelListOrc};
+use structures::queue::{MsQueue, MsQueueOrc};
+use torture::{
+    churn_orc_queue_ledgered, churn_orc_set_ledgered, churn_queue_ledgered, churn_set_ledgered,
+    Config,
+};
+
+/// Invariants every post-drain battery snapshot must satisfy. The
+/// ledgered helpers drain to `unreclaimed() == 0` before snapshotting
+/// (structure teardown uses `dealloc_now`, which never retires), so a
+/// reclaiming scheme must come back exactly balanced.
+fn assert_quiescent(label: &str, s: &StatsSnapshot, reclaiming: bool) {
+    assert!(
+        s.reclaims <= s.retires,
+        "{label}: reclaims {} > retires {}",
+        s.reclaims,
+        s.retires
+    );
+    assert!(
+        s.peak_unreclaimed >= s.outstanding(),
+        "{label}: peak {} below outstanding {}",
+        s.peak_unreclaimed,
+        s.outstanding()
+    );
+    assert!(s.retires > 0, "{label}: churn recorded no retires");
+    if reclaiming {
+        assert_eq!(
+            s.retires, s.reclaims,
+            "{label}: drained to unreclaimed()==0 but stats disagree"
+        );
+        assert!(
+            s.batches() > 0,
+            "{label}: objects were reclaimed but no batch was recorded"
+        );
+    } else {
+        assert_eq!(s.reclaims, 0, "{label}: the leaky baseline never reclaims");
+        assert_eq!(s.batches(), 0, "{label}: no reclaims, no batches");
+        assert_eq!(s.peak_unreclaimed, s.retires, "{label}: peak is the total");
+    }
+}
+
+fn battery<S: Smr + Clone>(make: impl Fn() -> S, reclaiming: bool) {
+    let cfg = Config::short();
+    let name = make().name();
+    let s = churn_set_ledgered::<S, MichaelList<u64, S>>(
+        make(),
+        &format!("{name}/MichaelList/stats"),
+        cfg.threads,
+        cfg.iters,
+    );
+    assert_quiescent(&format!("{name}/MichaelList"), &s, reclaiming);
+    let s = churn_queue_ledgered::<S, MsQueue<u64, S>>(
+        make(),
+        &format!("{name}/MSQueue/stats"),
+        cfg.threads,
+        cfg.iters,
+    );
+    assert_quiescent(&format!("{name}/MSQueue"), &s, reclaiming);
+}
+
+#[test]
+fn hp_battery_stats_balance() {
+    battery(HazardPointers::new, true);
+}
+
+#[test]
+fn ptb_battery_stats_balance() {
+    battery(PassTheBuck::new, true);
+}
+
+#[test]
+fn ptp_battery_stats_balance() {
+    battery(PassThePointer::new, true);
+}
+
+#[test]
+fn he_battery_stats_balance() {
+    battery(HazardEras::new, true);
+}
+
+#[test]
+fn ebr_battery_stats_balance() {
+    battery(Ebr::new, true);
+}
+
+#[test]
+fn leaky_battery_stats_balance() {
+    battery(Leaky::new, false);
+}
+
+/// `retires − reclaims == unreclaimed()` checked against the live gauge:
+/// the battery helpers consume their scheme handle, so this test keeps a
+/// clone and compares the snapshot to `unreclaimed()` directly.
+#[test]
+fn outstanding_matches_live_gauge() {
+    fn one<S: Smr + Clone>(make: impl Fn() -> S) {
+        let smr = make();
+        {
+            let set = MichaelList::<u64, S>::new(smr.clone());
+            for k in 0..400u64 {
+                set.add(k % 64);
+                set.remove(&(k % 64));
+            }
+        }
+        // Mid-quiescence (before any drain): the contract must already
+        // hold — this is what catches an unpaired gauge update.
+        let s = smr.stats();
+        assert_eq!(
+            s.outstanding(),
+            smr.unreclaimed() as u64,
+            "{}: snapshot disagrees with live gauge",
+            smr.name()
+        );
+        for _ in 0..400 {
+            if smr.unreclaimed() == 0 {
+                break;
+            }
+            smr.flush();
+        }
+        let s = smr.stats();
+        assert_eq!(s.outstanding(), smr.unreclaimed() as u64, "{}", smr.name());
+    }
+    one(HazardPointers::new);
+    one(PassTheBuck::new);
+    one(PassThePointer::new);
+    one(HazardEras::new);
+    one(Ebr::new);
+    one(Leaky::new);
+}
+
+/// OrcGC domain deltas across consecutive ledgered batteries: cumulative
+/// snapshots are monotone, each battery's delta balances (the ledger
+/// settles only once every node of the section is freed or unretired),
+/// and handovers appear (PTP-style transfers are how OrcGC reclaims
+/// under contention). One test, sequential: the domain is process-global
+/// and parallel orc tests would pollute each other's deltas.
+#[test]
+fn orc_domain_deltas_monotone_and_balanced() {
+    let cfg = Config::short();
+    let base = orcgc::domain_stats();
+    let d1 = churn_orc_set_ledgered(
+        MichaelListOrc::<u64>::new,
+        "OrcGC/MichaelListOrc/stats",
+        cfg.threads,
+        cfg.iters,
+    );
+    let mid = orcgc::domain_stats();
+    assert!(
+        mid.is_monotone_since(&base),
+        "domain counters went backwards"
+    );
+    let d2 = churn_orc_queue_ledgered(
+        MsQueueOrc::<u64>::new,
+        "OrcGC/MSQueueOrc/stats",
+        cfg.threads,
+        cfg.iters,
+    );
+    let end = orcgc::domain_stats();
+    assert!(
+        end.is_monotone_since(&mid),
+        "domain counters went backwards"
+    );
+    for (label, d) in [("set", &d1), ("queue", &d2)] {
+        assert!(d.retires > 0, "OrcGC/{label}: churn recorded no retires");
+        assert_eq!(
+            d.retires, d.reclaims,
+            "OrcGC/{label}: ledger settled but the stats delta does not balance"
+        );
+        assert!(
+            d.peak_unreclaimed >= d.outstanding(),
+            "OrcGC/{label}: peak below outstanding"
+        );
+    }
+}

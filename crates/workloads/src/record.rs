@@ -4,6 +4,7 @@
 //! aligned human-readable table (mirroring the paper's figure series) and
 //! can dump JSON lines for plotting.
 
+use reclaim::StatsSnapshot;
 use std::io::Write;
 use std::time::Duration;
 
@@ -25,6 +26,8 @@ pub struct Measurement {
     pub mem_bytes: Option<i64>,
     /// Optional unreclaimed-objects metric for the bound experiments.
     pub max_unreclaimed: Option<i64>,
+    /// Optional orc-stats snapshot (delta over the measured interval).
+    pub stats: Option<StatsSnapshot>,
 }
 
 impl Measurement {
@@ -47,6 +50,7 @@ impl Measurement {
             mops: ops as f64 / secs / 1e6,
             mem_bytes: None,
             max_unreclaimed: None,
+            stats: None,
         }
     }
 
@@ -57,6 +61,13 @@ impl Measurement {
 
     pub fn with_unreclaimed(mut self, n: i64) -> Self {
         self.max_unreclaimed = Some(n);
+        self
+    }
+
+    /// Attaches an orc-stats snapshot; its scalar counters join the JSON
+    /// output as a nested `"stats"` object.
+    pub fn with_stats(mut self, s: StatsSnapshot) -> Self {
+        self.stats = Some(s);
         self
     }
 
@@ -73,7 +84,10 @@ impl Measurement {
         json_str(&mut out, "workload", &self.workload);
         out.push_str(&format!(
             ",\"threads\":{},\"ops\":{},\"elapsed_s\":{},\"mops\":{}",
-            self.threads, self.ops, self.elapsed_s, self.mops
+            self.threads,
+            self.ops,
+            json_f64(self.elapsed_s),
+            json_f64(self.mops)
         ));
         if let Some(b) = self.mem_bytes {
             out.push_str(&format!(",\"mem_bytes\":{b}"));
@@ -81,8 +95,35 @@ impl Measurement {
         if let Some(n) = self.max_unreclaimed {
             out.push_str(&format!(",\"max_unreclaimed\":{n}"));
         }
+        if let Some(s) = &self.stats {
+            out.push_str(&format!(
+                ",\"stats\":{{\"retires\":{},\"reclaims\":{},\"scans\":{},\"flushes\":{},\
+                 \"protect_retries\":{},\"handovers\":{},\"peak_unreclaimed\":{},\
+                 \"batches\":{},\"mean_batch\":{}}}",
+                s.retires,
+                s.reclaims,
+                s.scans,
+                s.flushes,
+                s.protect_retries,
+                s.handovers,
+                s.peak_unreclaimed,
+                s.batches(),
+                json_f64(s.mean_batch())
+            ));
+        }
         out.push('}');
         out
+    }
+}
+
+/// Formats an `f64` as a JSON number. `{}` on a non-finite f64 prints
+/// `NaN`/`inf`, which no JSON parser accepts — emit `null` instead (the
+/// zero-elapsed / zero-ops corner cases of degenerate bench configs).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -181,6 +222,43 @@ mod tests {
         assert!(j.contains("\"threads\":1"));
         assert!(j.contains("\"mem_bytes\":1024"));
         assert!(!j.contains("max_unreclaimed"), "None metrics are omitted");
+    }
+
+    #[test]
+    fn json_emits_null_for_non_finite_floats() {
+        // Regression: `{}` interpolation printed `NaN`/`inf`, which no
+        // JSON parser accepts.
+        let mut m = Measurement::new("e", "s", "w", 1, 1, Duration::from_millis(1));
+        m.mops = f64::NAN;
+        m.elapsed_s = f64::INFINITY;
+        let j = m.json();
+        assert!(j.contains("\"elapsed_s\":null"), "inf -> null: {j}");
+        assert!(j.contains("\"mops\":null"), "NaN -> null: {j}");
+        assert!(
+            !j.contains("NaN") && !j.contains("inf"),
+            "invalid JSON: {j}"
+        );
+    }
+
+    #[test]
+    fn json_includes_stats_when_attached() {
+        let s = reclaim::StatsSnapshot {
+            retires: 10,
+            reclaims: 7,
+            peak_unreclaimed: 4,
+            ..Default::default()
+        };
+        let m = Measurement::new("e", "s", "w", 1, 1, Duration::from_millis(1)).with_stats(s);
+        let j = m.json();
+        assert!(
+            j.contains("\"stats\":{\"retires\":10,\"reclaims\":7"),
+            "{j}"
+        );
+        assert!(j.contains("\"peak_unreclaimed\":4"), "{j}");
+        assert!(
+            !j.contains("NaN"),
+            "zero batches must not leak a NaN mean: {j}"
+        );
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! orcstat: side-by-side reclamation telemetry for every scheme.
+//!
+//! Runs the same short Michael-list churn (the Figs. 3–4 write-heavy
+//! workload, scaled down) under each SMR scheme in the workspace plus
+//! OrcGC, then prints one row of orc-stats per scheme: how much was
+//! retired, how much came back, how each scheme gets its reclamation
+//! done (scan avalanches vs. one-object handover dribbles), and the
+//! peak backlog the paper's Table 1 bounds.
+//!
+//! Respects the bench knobs (`ORC_BENCH_SECONDS`, `ORC_BENCH_THREADS` —
+//! first entry — and `ORC_BENCH_JSON` for a JSON-lines dump) and the
+//! `ORC_STATS=0` kill switch (rows go to zero, throughput stays).
+//!
+//! Run: `cargo run --release --example orcstat`
+
+use orcgc_suite::prelude::*;
+use reclaim::StatsSnapshot;
+use std::sync::Arc;
+use structures::list::{MichaelList, MichaelListOrc};
+use workloads::config::BenchConfig;
+use workloads::record::{maybe_dump_json, Measurement};
+use workloads::throughput::{prefill_set, set_mix, Mix};
+
+const KEYS: u64 = 128;
+
+fn run_scheme<S: Smr>(cfg: &BenchConfig, threads: usize, smr: S) -> (Measurement, StatsSnapshot) {
+    let name = smr.name();
+    let set = Arc::new(MichaelList::<u64, S>::new(smr));
+    prefill_set(&*set, KEYS);
+    let m = set_mix(
+        "orcstat",
+        name,
+        set.clone(),
+        threads,
+        KEYS,
+        Mix::WRITE_HEAVY,
+        cfg.seconds_per_point,
+    );
+    // Quiesce before snapshotting so retires − reclaims matches the
+    // scheme's live gauge (nodes still linked in the set stay retired-free).
+    set.smr().flush();
+    let s = set.smr().stats();
+    (m.with_stats(s), s)
+}
+
+fn run_orc(cfg: &BenchConfig, threads: usize) -> (Measurement, StatsSnapshot) {
+    // The OrcGC domain is process-global, so report the delta over this
+    // run (prefill included) rather than process-lifetime totals.
+    let base = orcgc::domain_stats();
+    let set = Arc::new(MichaelListOrc::<u64>::new());
+    prefill_set(&*set, KEYS);
+    let m = set_mix(
+        "orcstat",
+        "OrcGC",
+        set,
+        threads,
+        KEYS,
+        Mix::WRITE_HEAVY,
+        cfg.seconds_per_point,
+    );
+    orcgc::flush_thread();
+    let s = orcgc::domain_stats().since(&base);
+    (m.with_stats(s), s)
+}
+
+fn row(name: &str, mops: f64, s: &StatsSnapshot) {
+    println!(
+        "{:<6} {:>8.3} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6.1}",
+        name,
+        mops,
+        s.retires,
+        s.reclaims,
+        s.outstanding(),
+        s.peak_unreclaimed,
+        s.scans,
+        s.flushes,
+        s.protect_retries,
+        s.handovers,
+        s.batches(),
+        s.mean_batch(),
+    );
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let threads = cfg.threads.first().copied().unwrap_or(2);
+    println!(
+        "orcstat: MichaelList 50i-50r, {KEYS} keys, {threads} threads, {:.2}s/scheme",
+        cfg.seconds_per_point.as_secs_f64()
+    );
+    println!(
+        "{:<6} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6}",
+        "scheme",
+        "Mops/s",
+        "retires",
+        "reclaims",
+        "outst",
+        "peak",
+        "scans",
+        "flushes",
+        "p-retry",
+        "handover",
+        "batches",
+        "mean",
+    );
+
+    let mut ms = Vec::new();
+    let (m, s) = run_scheme(&cfg, threads, HazardPointers::new());
+    row("HP", m.mops, &s);
+    ms.push(m);
+    let (m, s) = run_scheme(&cfg, threads, PassTheBuck::new());
+    row("PTB", m.mops, &s);
+    ms.push(m);
+    let (m, s) = run_scheme(&cfg, threads, PassThePointer::new());
+    row("PTP", m.mops, &s);
+    ms.push(m);
+    let (m, s) = run_scheme(&cfg, threads, HazardEras::new());
+    row("HE", m.mops, &s);
+    ms.push(m);
+    let (m, s) = run_scheme(&cfg, threads, Ebr::new());
+    row("EBR", m.mops, &s);
+    ms.push(m);
+    let (m, s) = run_scheme(&cfg, threads, Leaky::new());
+    row("None", m.mops, &s);
+    ms.push(m);
+    let (m, s) = run_orc(&cfg, threads);
+    row("OrcGC", m.mops, &s);
+    ms.push(m);
+
+    maybe_dump_json(&ms);
+
+    println!();
+    println!("outst = retires - reclaims (None never reclaims; its nodes are");
+    println!("freed only at teardown). PTP/OrcGC reclaim through handovers in");
+    println!("batches of ~1; HP/HE/EBR amortize into larger scan batches.");
+}
