@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use orcgc::{make_orc, OrcAtomic};
-use reclaim::{Ebr, HazardEras, HazardPointers, PassTheBuck, PassThePointer, Smr};
+use reclaim::{SchemeKind, Smr};
 use std::hint::black_box;
 use std::sync::atomic::AtomicPtr;
 
@@ -37,19 +37,21 @@ fn bench_retire<S: Smr>(c: &mut Criterion, smr: &S) {
 }
 
 fn protect_costs(c: &mut Criterion) {
-    bench_protect(c, &HazardPointers::new());
-    bench_protect(c, &PassTheBuck::new());
-    bench_protect(c, &PassThePointer::new());
-    bench_protect(c, &HazardEras::new());
-    bench_protect(c, &Ebr::new());
+    for kind in SchemeKind::ALL {
+        if !kind.reclaims() {
+            continue; // the leaky baseline has no protection machinery to measure
+        }
+        bench_protect(c, &kind.build());
+    }
 }
 
 fn retire_costs(c: &mut Criterion) {
-    bench_retire(c, &HazardPointers::new());
-    bench_retire(c, &PassTheBuck::new());
-    bench_retire(c, &PassThePointer::new());
-    bench_retire(c, &HazardEras::new());
-    bench_retire(c, &Ebr::new());
+    for kind in SchemeKind::ALL {
+        if !kind.reclaims() {
+            continue;
+        }
+        bench_retire(c, &kind.build());
+    }
 }
 
 fn orc_primitives(c: &mut Criterion) {

@@ -9,7 +9,7 @@
 //! counter code), can *help* at low contention on MS (natural back-off),
 //! and converges as contention dominates; LCRQ stays fastest overall.
 
-use reclaim::Leaky;
+use reclaim::SchemeKind;
 use std::sync::Arc;
 use structures::queue::{KpQueueOrc, LcrqOrc, MsQueue, MsQueueOrc, TurnQueueOrc};
 use workloads::throughput::queue_pairs;
@@ -22,7 +22,7 @@ fn main() {
     for &threads in &cfg.threads {
         let pairs = cfg.queue_pairs;
         let baseline = {
-            let q = Arc::new(MsQueue::new(Leaky::new()));
+            let q = Arc::new(MsQueue::new(SchemeKind::Leaky.build()));
             let m = queue_pairs("fig1-2", "MSQueue+None", q, threads, pairs);
             print_row(&m);
             let mops = m.mops;

@@ -9,7 +9,7 @@
 //! OrcGC tracks the pack on Intel and pays up to ~50% on write-heavy
 //! mixes on AMD (architecture-dependent `xchg` cost).
 
-use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
+use reclaim::{SchemeKind, Smr};
 use std::sync::Arc;
 use structures::list::{MichaelList, MichaelListOrc};
 use workloads::throughput::{prefill_set, set_mix, Mix};
@@ -44,12 +44,9 @@ fn main() {
     let mut all = Vec::new();
     for &mix in &[Mix::WRITE_HEAVY, Mix::MIXED, Mix::READ_ONLY] {
         for &threads in &cfg.threads {
-            run_manual(&mut all, &cfg, HazardPointers::new(), "HP", threads, mix);
-            run_manual(&mut all, &cfg, PassTheBuck::new(), "PTB", threads, mix);
-            run_manual(&mut all, &cfg, PassThePointer::new(), "PTP", threads, mix);
-            run_manual(&mut all, &cfg, HazardEras::new(), "HE", threads, mix);
-            run_manual(&mut all, &cfg, Ebr::new(), "EBR", threads, mix);
-            run_manual(&mut all, &cfg, Leaky::new(), "None", threads, mix);
+            for kind in SchemeKind::ALL {
+                run_manual(&mut all, &cfg, kind.build(), kind.name(), threads, mix);
+            }
             let list = Arc::new(MichaelListOrc::new());
             prefill_set(&*list, cfg.keys_small);
             let m = set_mix(

@@ -11,7 +11,7 @@
 //! outperforms HS-skip while using far less memory (see
 //! `mem_usage_skiplists`).
 
-use reclaim::{HazardPointers, PassThePointer};
+use reclaim::SchemeKind;
 use std::sync::Arc;
 use structures::skiplist::{CrfSkipListOrc, HsSkipListOrc};
 use structures::tree::{NmTree, NmTreeOrc};
@@ -41,8 +41,13 @@ fn main() {
                     all.push(m);
                 }};
             }
-            run!(NmTree::new(HazardPointers::new()), "NM-tree+HP");
-            run!(NmTree::new(PassThePointer::new()), "NM-tree+PTP");
+            // The paper plots HP and PTP as the manual NM-tree series.
+            for kind in [SchemeKind::Hp, SchemeKind::Ptp] {
+                run!(
+                    NmTree::new(kind.build()),
+                    &format!("NM-tree+{}", kind.name())
+                );
+            }
             run!(NmTreeOrc::new(), "NM-tree+OrcGC");
             run!(HsSkipListOrc::new(), "HS-skip+OrcGC");
             run!(CrfSkipListOrc::new(), "CRF-skip+OrcGC");

@@ -58,8 +58,15 @@ fn main() {
         let _pin = set.stalled_reader_at_front();
         let start = Instant::now();
         let (ops, peak) = run_waves(&*set, keys, waves);
-        let m = Measurement::new("mem-skip", "HS-skip", "pinned-churn", 1, ops, start.elapsed())
-            .with_mem(peak);
+        let m = Measurement::new(
+            "mem-skip",
+            "HS-skip",
+            "pinned-churn",
+            1,
+            ops,
+            start.elapsed(),
+        )
+        .with_mem(peak);
         drop(_pin);
         drop(set);
         orcgc::flush_thread();
@@ -73,8 +80,15 @@ fn main() {
         let _pin = set.stalled_reader_at_front();
         let start = Instant::now();
         let (ops, peak) = run_waves(&*set, keys, waves);
-        let m = Measurement::new("mem-skip", "CRF-skip", "pinned-churn", 1, ops, start.elapsed())
-            .with_mem(peak);
+        let m = Measurement::new(
+            "mem-skip",
+            "CRF-skip",
+            "pinned-churn",
+            1,
+            ops,
+            start.elapsed(),
+        )
+        .with_mem(peak);
         drop(_pin);
         drop(set);
         orcgc::flush_thread();

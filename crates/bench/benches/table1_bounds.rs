@@ -12,21 +12,21 @@
 //! | HE | O(#L·H·t²) | plateaus highest among the bounded schemes |
 //! | PTP / OrcGC | O(H·t) | smallest plateau, independent of writer ops |
 
-use reclaim::{Ebr, HazardEras, HazardPointers, PassTheBuck, PassThePointer, Smr};
 use std::time::Duration;
-use workloads::bound::{stalled_reader_bound, stalled_reader_bound_orc};
+use structures::registry::SchemeAxis;
+use workloads::bound::stalled_reader_bound_axis;
 use workloads::{print_header, print_row, Measurement};
 
-fn run<S: Smr + Clone>(smr: &S, readers: usize, ops: u64) -> Measurement {
+fn run(axis: SchemeAxis, readers: usize, ops: u64) -> Measurement {
     let start = std::time::Instant::now();
-    let r = stalled_reader_bound(smr, readers, reclaim::MAX_HPS, ops);
+    let r = stalled_reader_bound_axis(axis, readers, reclaim::MAX_HPS, ops);
     Measurement::new(
         "table1",
-        smr.name(),
+        axis.name(),
         "stalled-reader",
         readers + 1,
         r.writer_ops,
-        start.elapsed(),
+        start.elapsed().max(Duration::from_nanos(1)),
     )
     .with_unreclaimed(r.max_unreclaimed as i64)
 }
@@ -38,28 +38,12 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(50_000);
     print_header("Table 1 (measured): max unreclaimed objects, stalled readers");
-    let mut all = vec![
-        run(&Ebr::new(), readers, ops),
-        run(&HazardPointers::new(), readers, ops),
-        run(&PassTheBuck::new(), readers, ops),
-        run(&HazardEras::new(), readers, ops),
-        run(&PassThePointer::new(), readers, ops),
-    ];
-    {
-        let start = std::time::Instant::now();
-        let r = stalled_reader_bound_orc(readers, reclaim::MAX_HPS, ops);
-        all.push(
-            Measurement::new(
-                "table1",
-                "OrcGC",
-                "stalled-reader",
-                readers + 1,
-                r.writer_ops,
-                start.elapsed().max(Duration::from_nanos(1)),
-            )
-            .with_unreclaimed(r.max_unreclaimed as i64),
-        );
-    }
+    let all: Vec<Measurement> = SchemeAxis::ALL
+        .into_iter()
+        // The leaky baseline never reclaims: its "bound" is the op count.
+        .filter(|axis| axis.manual().is_none_or(|kind| kind.reclaims()))
+        .map(|axis| run(axis, readers, ops))
+        .collect();
     for m in &all {
         print_row(m);
     }

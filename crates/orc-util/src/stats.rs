@@ -301,6 +301,60 @@ impl StatsSnapshot {
                 .all(|(a, b)| a >= b)
     }
 
+    /// Width of the label column in [`table_header`](Self::table_header) /
+    /// [`table_row`](Self::table_row) — sized for registry cell labels
+    /// like `OrcGC/CRF-skip-OrcGC`.
+    pub const TABLE_LABEL_WIDTH: usize = 22;
+
+    /// Header line for the aligned telemetry table ([`table_row`]
+    /// produces the matching rows). `label_col` titles the first column
+    /// (`"scheme"` for orcstat, `"cell"` for the torture ledger battery).
+    ///
+    /// [`table_row`]: Self::table_row
+    pub fn table_header(label_col: &str) -> String {
+        format!(
+            "{:<lw$} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6}",
+            label_col,
+            "Mops/s",
+            "retires",
+            "reclaims",
+            "outst",
+            "peak",
+            "scans",
+            "flushes",
+            "p-retry",
+            "handover",
+            "batches",
+            "mean",
+            lw = Self::TABLE_LABEL_WIDTH,
+        )
+    }
+
+    /// One aligned table row for this snapshot, under
+    /// [`table_header`](Self::table_header). `mops` fills the throughput
+    /// column when the caller measured one (orcstat); `None` renders `-`
+    /// (the torture batteries churn for correctness, not speed).
+    pub fn table_row(&self, label: &str, mops: Option<f64>) -> String {
+        let mops = match mops {
+            Some(m) => format!("{m:>8.3}"),
+            None => format!("{:>8}", "-"),
+        };
+        format!(
+            "{label:<lw$} {mops} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6.1}",
+            self.retires,
+            self.reclaims,
+            self.outstanding(),
+            self.peak_unreclaimed,
+            self.scans,
+            self.flushes,
+            self.protect_retries,
+            self.handovers,
+            self.batches(),
+            self.mean_batch(),
+            lw = Self::TABLE_LABEL_WIDTH,
+        )
+    }
+
     /// One-line human summary for progress output.
     pub fn summary(&self) -> String {
         format!(
@@ -434,5 +488,17 @@ mod tests {
         let line = snap.summary();
         assert!(!line.contains('\n'));
         assert!(line.contains("retires 0"));
+    }
+
+    #[test]
+    fn table_rows_align_with_header() {
+        let header = StatsSnapshot::table_header("cell");
+        let snap = StatsSnapshot::default();
+        let with_mops = snap.table_row("HP/MichaelList", Some(1.234));
+        let without = snap.table_row("OrcGC/CRF-skip-OrcGC", None);
+        assert_eq!(header.len(), with_mops.len());
+        assert_eq!(header.len(), without.len());
+        assert!(with_mops.contains("1.234"));
+        assert!(without.contains(" - "));
     }
 }

@@ -34,6 +34,7 @@ pub mod hp;
 pub mod leaky;
 pub mod ptb;
 pub mod ptp;
+pub mod scheme_kind;
 
 /// Stalled-reader fault injection (test support). Every scheme's `protect`
 /// calls [`stall::hit`]`(`[`stall::StallPoint::Protect`]`)` after its
@@ -57,6 +58,7 @@ pub use hp::HazardPointers;
 pub use leaky::Leaky;
 pub use ptb::PassTheBuck;
 pub use ptp::PassThePointer;
+pub use scheme_kind::{AnySmr, SchemeKind};
 
 use std::sync::atomic::{AtomicPtr, AtomicUsize};
 

@@ -1,0 +1,362 @@
+//! The scheme axis of the (structure × scheme) matrix, as *data*.
+//!
+//! The paper's whole evaluation methodology (Figs. 3–4, 7–8) is "the same
+//! structure under every scheme". [`SchemeKind`] names the six manual
+//! schemes so harnesses can iterate [`SchemeKind::ALL`] (or an
+//! `ORC_SCHEMES`-style slice of it) instead of hand-enumerating
+//! constructors, and [`AnySmr`] erases the concrete scheme type behind one
+//! enum so a single monomorphization of each structure covers the whole
+//! axis.
+//!
+//! `dyn Smr` is impossible — [`Smr::alloc`] and [`Smr::retire`] are
+//! generic over the payload type, which rules out object safety — so
+//! [`AnySmr`] is the enum-dispatch workaround: every [`Smr`] method
+//! matches on the variant and delegates statically. The match is
+//! branch-predicted perfectly in a sweep (one variant per section), so
+//! the cost over direct monomorphization is a predictable jump —
+//! irrelevant for the torture/equivalence harnesses this exists for;
+//! throughput benches that care can still monomorphize per scheme.
+
+use crate::stats::StatsSnapshot;
+use crate::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
+use std::sync::atomic::{AtomicPtr, AtomicUsize};
+
+/// One of the six manual reclamation schemes, as a value.
+///
+/// The order of [`SchemeKind::ALL`] is the paper's Table 1 row order
+/// (bounded pointer-based schemes first, then the unbounded baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Hazard pointers (Michael 2004).
+    Hp,
+    /// Pass-the-buck (Herlihy et al. 2002).
+    Ptb,
+    /// Pass-the-pointer (§3.1, this paper's manual scheme).
+    Ptp,
+    /// Hazard eras (Ramalhete & Correia 2017).
+    He,
+    /// Epoch-based reclamation (Fraser 2004).
+    Ebr,
+    /// The "None" baseline of Figs. 1–4: never frees until teardown.
+    Leaky,
+}
+
+impl SchemeKind {
+    /// Every scheme, in Table-1 order — the canonical sweep axis.
+    pub const ALL: [SchemeKind; 6] = [
+        SchemeKind::Hp,
+        SchemeKind::Ptb,
+        SchemeKind::Ptp,
+        SchemeKind::He,
+        SchemeKind::Ebr,
+        SchemeKind::Leaky,
+    ];
+
+    /// Display name, as used in the paper's figure legends (and by the
+    /// matching scheme's [`Smr::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Hp => "HP",
+            SchemeKind::Ptb => "PTB",
+            SchemeKind::Ptp => "PTP",
+            SchemeKind::He => "HE",
+            SchemeKind::Ebr => "EBR",
+            SchemeKind::Leaky => "None",
+        }
+    }
+
+    /// Parses a scheme name, case-insensitively. Accepts the figure-legend
+    /// names ("HP", "None", ...) and the module names ("hp", "leaky", ...).
+    #[allow(clippy::should_implement_trait)] // fallible-by-Option, used via `SchemeKind::from_str`
+    pub fn from_str(name: &str) -> Option<SchemeKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "hp" => Some(SchemeKind::Hp),
+            "ptb" => Some(SchemeKind::Ptb),
+            "ptp" => Some(SchemeKind::Ptp),
+            "he" => Some(SchemeKind::He),
+            "ebr" => Some(SchemeKind::Ebr),
+            "leaky" | "none" => Some(SchemeKind::Leaky),
+            _ => None,
+        }
+    }
+
+    /// Builds a fresh instance of the scheme with its default thresholds.
+    pub fn build(self) -> AnySmr {
+        match self {
+            SchemeKind::Hp => AnySmr::Hp(HazardPointers::new()),
+            SchemeKind::Ptb => AnySmr::Ptb(PassTheBuck::new()),
+            SchemeKind::Ptp => AnySmr::Ptp(PassThePointer::new()),
+            SchemeKind::He => AnySmr::He(HazardEras::new()),
+            SchemeKind::Ebr => AnySmr::Ebr(Ebr::new()),
+            SchemeKind::Leaky => AnySmr::Leaky(Leaky::new()),
+        }
+    }
+
+    /// Builds with a fixed scan threshold where the scheme has one (HP,
+    /// PTB, HE); the remaining schemes have no threshold knob and build
+    /// as [`SchemeKind::build`]. Used by the stall batteries so bounded
+    /// ceilings are deterministic rather than dependent on the adaptive
+    /// `2·H·t + 8` formula.
+    pub fn build_with_threshold(self, threshold: usize) -> AnySmr {
+        match self {
+            SchemeKind::Hp => AnySmr::Hp(HazardPointers::with_threshold(threshold)),
+            SchemeKind::Ptb => AnySmr::Ptb(PassTheBuck::with_threshold(threshold)),
+            SchemeKind::He => AnySmr::He(HazardEras::with_threshold(threshold)),
+            _ => self.build(),
+        }
+    }
+
+    /// Whether a stalled reader leaves the scheme's unreclaimed count
+    /// bounded (the paper's Table 1 column): true for the pointer-based
+    /// schemes, false for EBR and the leaky baseline.
+    pub fn is_bounded(self) -> bool {
+        !matches!(self, SchemeKind::Ebr | SchemeKind::Leaky)
+    }
+
+    /// Whether the scheme ever frees memory before teardown (everything
+    /// but the leaky baseline).
+    pub fn reclaims(self) -> bool {
+        self != SchemeKind::Leaky
+    }
+
+    /// Parses a comma-separated scheme filter ("ptp,ebr"). Unknown names
+    /// fail fast with the valid list; an empty spec means "all".
+    pub fn parse_filter(spec: &str) -> Result<Vec<SchemeKind>, String> {
+        let mut out = Vec::new();
+        for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let kind = SchemeKind::from_str(tok).ok_or_else(|| {
+                format!(
+                    "unknown scheme {tok:?}; valid schemes: {}",
+                    SchemeKind::ALL
+                        .map(|k| k.name().to_ascii_lowercase())
+                        .join(", ")
+                )
+            })?;
+            if !out.contains(&kind) {
+                out.push(kind);
+            }
+        }
+        if out.is_empty() {
+            out.extend(SchemeKind::ALL);
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Any of the six manual schemes behind one concrete type.
+///
+/// Clones share the underlying scheme instance (each variant's `Clone` is
+/// a handle clone), so a harness can keep one handle for
+/// `flush`/`unreclaimed`/`stats` while the structure owns another —
+/// exactly the pattern the torture batteries use.
+#[derive(Clone)]
+pub enum AnySmr {
+    Hp(HazardPointers),
+    Ptb(PassTheBuck),
+    Ptp(PassThePointer),
+    He(HazardEras),
+    Ebr(Ebr),
+    Leaky(Leaky),
+}
+
+/// Statically dispatches one expression over every [`AnySmr`] variant.
+macro_rules! on_scheme {
+    ($any:expr, $s:ident => $body:expr) => {
+        match $any {
+            AnySmr::Hp($s) => $body,
+            AnySmr::Ptb($s) => $body,
+            AnySmr::Ptp($s) => $body,
+            AnySmr::He($s) => $body,
+            AnySmr::Ebr($s) => $body,
+            AnySmr::Leaky($s) => $body,
+        }
+    };
+}
+
+impl AnySmr {
+    /// The [`SchemeKind`] this instance was built from.
+    pub fn kind(&self) -> SchemeKind {
+        match self {
+            AnySmr::Hp(_) => SchemeKind::Hp,
+            AnySmr::Ptb(_) => SchemeKind::Ptb,
+            AnySmr::Ptp(_) => SchemeKind::Ptp,
+            AnySmr::He(_) => SchemeKind::He,
+            AnySmr::Ebr(_) => SchemeKind::Ebr,
+            AnySmr::Leaky(_) => SchemeKind::Leaky,
+        }
+    }
+}
+
+impl Smr for AnySmr {
+    fn name(&self) -> &'static str {
+        on_scheme!(self, s => s.name())
+    }
+
+    fn alloc<T: Send>(&self, value: T) -> *mut T {
+        on_scheme!(self, s => s.alloc(value))
+    }
+
+    #[inline]
+    fn begin_op(&self) {
+        on_scheme!(self, s => s.begin_op())
+    }
+
+    fn end_op(&self) {
+        on_scheme!(self, s => s.end_op())
+    }
+
+    fn protect(&self, idx: usize, addr: &AtomicUsize) -> usize {
+        on_scheme!(self, s => s.protect(idx, addr))
+    }
+
+    #[inline]
+    fn protect_ptr<T>(&self, idx: usize, addr: &AtomicPtr<T>) -> *mut T {
+        on_scheme!(self, s => s.protect_ptr(idx, addr))
+    }
+
+    fn publish(&self, idx: usize, word: usize) {
+        on_scheme!(self, s => s.publish(idx, word))
+    }
+
+    fn clear(&self, idx: usize) {
+        on_scheme!(self, s => s.clear(idx))
+    }
+
+    unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        on_scheme!(self, s => unsafe { s.retire(ptr) })
+    }
+
+    unsafe fn dealloc_now<T>(&self, ptr: *mut T) {
+        on_scheme!(self, s => unsafe { s.dealloc_now(ptr) })
+    }
+
+    fn flush(&self) {
+        on_scheme!(self, s => s.flush())
+    }
+
+    fn unreclaimed(&self) -> usize {
+        on_scheme!(self, s => s.unreclaimed())
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        on_scheme!(self, s => s.stats())
+    }
+
+    fn is_lock_free(&self) -> bool {
+        on_scheme!(self, s => s.is_lock_free())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MAX_HPS;
+
+    #[test]
+    fn all_covers_every_variant_once() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in SchemeKind::ALL {
+            assert!(seen.insert(kind.name()), "duplicate name {}", kind.name());
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn from_str_roundtrips_names() {
+        for kind in SchemeKind::ALL {
+            assert_eq!(SchemeKind::from_str(kind.name()), Some(kind));
+            assert_eq!(
+                SchemeKind::from_str(&kind.name().to_ascii_lowercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(SchemeKind::from_str("leaky"), Some(SchemeKind::Leaky));
+        assert_eq!(SchemeKind::from_str(" ptp "), Some(SchemeKind::Ptp));
+        assert_eq!(SchemeKind::from_str("hazard"), None);
+    }
+
+    #[test]
+    fn parse_filter_slices_and_fails_fast() {
+        assert_eq!(
+            SchemeKind::parse_filter("ptp,ebr").unwrap(),
+            vec![SchemeKind::Ptp, SchemeKind::Ebr]
+        );
+        assert_eq!(
+            SchemeKind::parse_filter("ptp, ptp ,PTP").unwrap(),
+            vec![SchemeKind::Ptp],
+            "duplicates collapse"
+        );
+        assert_eq!(
+            SchemeKind::parse_filter("").unwrap(),
+            SchemeKind::ALL.to_vec()
+        );
+        let err = SchemeKind::parse_filter("ptp,bogus").unwrap_err();
+        assert!(err.contains("bogus") && err.contains("ebr"), "{err}");
+    }
+
+    #[test]
+    fn build_matches_kind_and_name() {
+        for kind in SchemeKind::ALL {
+            let smr = kind.build();
+            assert_eq!(smr.kind(), kind);
+            assert_eq!(smr.name(), kind.name());
+            let smr = kind.build_with_threshold(32);
+            assert_eq!(smr.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn any_smr_runs_the_full_protocol() {
+        for kind in SchemeKind::ALL {
+            let smr = kind.build();
+            let slot = AtomicUsize::new(smr.alloc(7u64) as usize);
+            smr.begin_op();
+            let w = smr.protect(0, &slot);
+            assert_eq!(unsafe { *(w as *const u64) }, 7);
+            let fresh = smr.alloc(9u64) as usize;
+            let old = slot.swap(fresh, std::sync::atomic::Ordering::SeqCst);
+            unsafe { smr.retire(old as *mut u64) };
+            smr.end_op();
+            smr.flush();
+            if kind.reclaims() {
+                assert_eq!(smr.unreclaimed(), 0, "{}", kind.name());
+                assert!(smr.stats().retires >= 1);
+            } else {
+                assert_eq!(smr.unreclaimed(), 1, "the leaky baseline holds it");
+            }
+            let last = slot.load(std::sync::atomic::Ordering::SeqCst);
+            unsafe { smr.dealloc_now(last as *mut u64) };
+        }
+    }
+
+    #[test]
+    fn bounded_and_reclaiming_flags() {
+        assert!(SchemeKind::Hp.is_bounded());
+        assert!(SchemeKind::Ptb.is_bounded());
+        assert!(SchemeKind::Ptp.is_bounded());
+        assert!(SchemeKind::He.is_bounded());
+        assert!(!SchemeKind::Ebr.is_bounded());
+        assert!(!SchemeKind::Leaky.is_bounded());
+        assert!(SchemeKind::ALL.iter().filter(|k| !k.reclaims()).count() == 1);
+    }
+
+    #[test]
+    fn max_hps_is_respected_by_any_smr() {
+        // AnySmr adds no slot indirection: every slot the concrete schemes
+        // expose is reachable through the enum.
+        let smr = SchemeKind::Hp.build();
+        let slot = AtomicUsize::new(smr.alloc(1u64) as usize);
+        smr.begin_op();
+        for idx in 0..MAX_HPS {
+            let _ = smr.protect(idx, &slot);
+        }
+        smr.end_op();
+        unsafe { smr.dealloc_now(slot.load(std::sync::atomic::Ordering::SeqCst) as *mut u64) };
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod list;
 pub mod queue;
+pub mod registry;
 pub mod skiplist;
 pub mod traits;
 pub mod tree;

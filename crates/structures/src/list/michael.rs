@@ -241,58 +241,44 @@ where
 mod tests {
     use super::*;
     use crate::list::set_tests;
-    use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer};
+    use reclaim::SchemeKind;
     use std::sync::Arc;
 
     #[test]
     fn semantics_under_every_scheme() {
-        set_tests::sequential_semantics(&MichaelList::new(HazardPointers::new()));
-        set_tests::sequential_semantics(&MichaelList::new(PassThePointer::new()));
-        set_tests::sequential_semantics(&MichaelList::new(PassTheBuck::new()));
-        set_tests::sequential_semantics(&MichaelList::new(HazardEras::new()));
-        set_tests::sequential_semantics(&MichaelList::new(Ebr::new()));
-        set_tests::sequential_semantics(&MichaelList::new(Leaky::new()));
+        for kind in SchemeKind::ALL {
+            set_tests::sequential_semantics(&MichaelList::new(kind.build()));
+        }
     }
 
     #[test]
     fn randomized_model_check() {
-        set_tests::randomized_against_model(&MichaelList::new(HazardPointers::new()), 42, 4_000);
-        set_tests::randomized_against_model(&MichaelList::new(PassThePointer::new()), 43, 4_000);
+        for (i, kind) in SchemeKind::ALL.into_iter().enumerate() {
+            set_tests::randomized_against_model(
+                &MichaelList::new(kind.build()),
+                42 + i as u64,
+                4_000,
+            );
+        }
     }
 
     #[test]
-    fn disjoint_stress_hp() {
-        set_tests::disjoint_key_stress(Arc::new(MichaelList::new(HazardPointers::new())), 4);
+    fn disjoint_stress_every_scheme() {
+        for kind in SchemeKind::ALL {
+            set_tests::disjoint_key_stress(Arc::new(MichaelList::new(kind.build())), 4);
+        }
     }
 
     #[test]
-    fn disjoint_stress_ptp() {
-        set_tests::disjoint_key_stress(Arc::new(MichaelList::new(PassThePointer::new())), 4);
-    }
-
-    #[test]
-    fn disjoint_stress_he() {
-        set_tests::disjoint_key_stress(Arc::new(MichaelList::new(HazardEras::new())), 4);
-    }
-
-    #[test]
-    fn disjoint_stress_ebr() {
-        set_tests::disjoint_key_stress(Arc::new(MichaelList::new(Ebr::new())), 4);
-    }
-
-    #[test]
-    fn contended_stress_ptp() {
-        set_tests::contended_key_stress(Arc::new(MichaelList::new(PassThePointer::new())), 4);
-    }
-
-    #[test]
-    fn contended_stress_ptb() {
-        set_tests::contended_key_stress(Arc::new(MichaelList::new(PassTheBuck::new())), 4);
+    fn contended_stress_every_scheme() {
+        for kind in SchemeKind::ALL {
+            set_tests::contended_key_stress(Arc::new(MichaelList::new(kind.build())), 4);
+        }
     }
 
     #[test]
     fn reclamation_happens_during_run() {
-        let list = MichaelList::new(HazardPointers::with_threshold(8));
+        let list = MichaelList::new(SchemeKind::Hp.build_with_threshold(8));
         for k in 0..512u64 {
             assert!(list.add(k));
         }

@@ -160,7 +160,7 @@ impl<T, S: Smr> Drop for MsQueue<T, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer};
+    use reclaim::SchemeKind;
     use std::sync::Arc;
 
     fn fifo_smoke<S: Smr>(smr: S) {
@@ -178,12 +178,9 @@ mod tests {
 
     #[test]
     fn fifo_under_every_scheme() {
-        fifo_smoke(HazardPointers::new());
-        fifo_smoke(PassThePointer::new());
-        fifo_smoke(PassTheBuck::new());
-        fifo_smoke(HazardEras::new());
-        fifo_smoke(Ebr::new());
-        fifo_smoke(Leaky::new());
+        for kind in SchemeKind::ALL {
+            fifo_smoke(kind.build());
+        }
     }
 
     #[test]
@@ -196,7 +193,7 @@ mod tests {
         }
         let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         {
-            let q = MsQueue::new(HazardPointers::new());
+            let q = MsQueue::new(SchemeKind::Hp.build());
             for _ in 0..10 {
                 q.enqueue(Probe(drops.clone()));
             }
@@ -233,7 +230,10 @@ mod tests {
                         sum.fetch_add(v, Ordering::SeqCst);
                         got.fetch_add(1, Ordering::SeqCst);
                     } else {
-                        std::hint::spin_loop();
+                        // Yield, not spin: consumers busy-spinning on an
+                        // empty queue starve the producers on single-core
+                        // hosts and the test hangs.
+                        std::thread::yield_now();
                     }
                 }
             }));
@@ -251,35 +251,22 @@ mod tests {
     }
 
     #[test]
-    fn mpmc_stress_hp() {
-        mpmc_stress(HazardPointers::new(), "HP");
+    fn mpmc_stress_every_scheme() {
+        for kind in SchemeKind::ALL {
+            mpmc_stress(kind.build(), kind.name());
+        }
     }
 
     #[test]
-    fn mpmc_stress_ptp() {
-        mpmc_stress(PassThePointer::new(), "PTP");
-    }
-
-    #[test]
-    fn mpmc_stress_ptb() {
-        mpmc_stress(PassTheBuck::new(), "PTB");
-    }
-
-    #[test]
-    fn mpmc_stress_he() {
-        mpmc_stress(HazardEras::new(), "HE");
-    }
-
-    #[test]
-    fn mpmc_stress_ebr() {
-        mpmc_stress(Ebr::new(), "EBR");
-    }
-
-    #[test]
-    fn no_leaks_after_stress_with_hp() {
-        let hp = HazardPointers::new();
-        mpmc_stress(hp.clone(), "HP-leakcheck");
-        hp.flush();
-        assert_eq!(hp.unreclaimed(), 0);
+    fn no_leaks_after_stress() {
+        for kind in SchemeKind::ALL {
+            if !kind.reclaims() {
+                continue;
+            }
+            let smr = kind.build();
+            mpmc_stress(smr.clone(), &format!("{kind}-leakcheck"));
+            smr.flush();
+            assert_eq!(smr.unreclaimed(), 0, "{kind}");
+        }
     }
 }

@@ -24,6 +24,41 @@ pub trait ConcurrentSet<K>: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+// Boxed structures are still structures: the registry hands out
+// `Box<dyn ConcurrentSet<u64>>` and harness code drives it through the
+// same trait bounds as a concrete type.
+impl<T: ConcurrentQueue<V> + ?Sized, V> ConcurrentQueue<V> for Box<T> {
+    fn enqueue(&self, item: V) {
+        (**self).enqueue(item)
+    }
+
+    fn dequeue(&self) -> Option<V> {
+        (**self).dequeue()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: ConcurrentSet<K> + ?Sized, K> ConcurrentSet<K> for Box<T> {
+    fn add(&self, key: K) -> bool {
+        (**self).add(key)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        (**self).remove(key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        (**self).contains(key)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Generic construction of a manual-scheme set from a scheme instance, so
 /// harnesses (torture, benches) can sweep the full (structure × scheme)
 /// matrix without naming concrete types. Keys are fixed to `u64` — the

@@ -413,6 +413,16 @@ impl<K: Ord + Copy, S: Smr> Drop for NmTree<K, S> {
     }
 }
 
+impl<S: Smr> crate::traits::SmrSet<S> for NmTree<u64, S> {
+    fn with_smr(smr: S) -> Self {
+        NmTree::new(smr)
+    }
+
+    fn smr(&self) -> &S {
+        NmTree::smr(self)
+    }
+}
+
 impl<K, S> ConcurrentSet<K> for NmTree<K, S>
 where
     K: Ord + Copy + Send + Sync + 'static,
@@ -439,47 +449,40 @@ where
 mod tests {
     use super::*;
     use crate::list::set_tests;
-    use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassThePointer};
+    use reclaim::SchemeKind;
     use std::sync::Arc;
 
     #[test]
     fn semantics_under_every_scheme() {
-        set_tests::sequential_semantics(&NmTree::new(HazardPointers::new()));
-        set_tests::sequential_semantics(&NmTree::new(PassThePointer::new()));
-        set_tests::sequential_semantics(&NmTree::new(HazardEras::new()));
-        set_tests::sequential_semantics(&NmTree::new(Ebr::new()));
-        set_tests::sequential_semantics(&NmTree::new(Leaky::new()));
+        for kind in SchemeKind::ALL {
+            set_tests::sequential_semantics(&NmTree::new(kind.build()));
+        }
     }
 
     #[test]
     fn randomized_model_check() {
-        set_tests::randomized_against_model(&NmTree::new(HazardPointers::new()), 31, 6_000);
-        set_tests::randomized_against_model(&NmTree::new(Ebr::new()), 37, 6_000);
+        for (i, kind) in SchemeKind::ALL.into_iter().enumerate() {
+            set_tests::randomized_against_model(&NmTree::new(kind.build()), 31 + i as u64, 6_000);
+        }
     }
 
     #[test]
-    fn disjoint_stress_hp() {
-        set_tests::disjoint_key_stress(Arc::new(NmTree::new(HazardPointers::new())), 4);
+    fn disjoint_stress_every_scheme() {
+        for kind in SchemeKind::ALL {
+            set_tests::disjoint_key_stress(Arc::new(NmTree::new(kind.build())), 4);
+        }
     }
 
     #[test]
-    fn disjoint_stress_ptp() {
-        set_tests::disjoint_key_stress(Arc::new(NmTree::new(PassThePointer::new())), 4);
-    }
-
-    #[test]
-    fn contended_stress_hp() {
-        set_tests::contended_key_stress(Arc::new(NmTree::new(HazardPointers::new())), 4);
-    }
-
-    #[test]
-    fn contended_stress_ebr() {
-        set_tests::contended_key_stress(Arc::new(NmTree::new(Ebr::new())), 4);
+    fn contended_stress_every_scheme() {
+        for kind in SchemeKind::ALL {
+            set_tests::contended_key_stress(Arc::new(NmTree::new(kind.build())), 4);
+        }
     }
 
     #[test]
     fn exact_reclamation_when_quiescent() {
-        let t = NmTree::new(HazardPointers::with_threshold(8));
+        let t = NmTree::new(SchemeKind::Hp.build_with_threshold(8));
         for k in 0..256u64 {
             assert!(t.add(k));
         }

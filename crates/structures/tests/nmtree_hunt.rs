@@ -1,29 +1,35 @@
-//! Aggressive hunt for NM-tree races under the manual schemes: repeated
-//! disjoint-range rounds at adjacent boundaries (shared parents).
-use reclaim::{HazardPointers, PassThePointer, Smr};
+//! Aggressive hunt for NM-tree races: repeated disjoint-range rounds at
+//! adjacent boundaries (shared parents), swept over every manual scheme
+//! via [`SchemeKind::ALL`] — the paper's NM-tree × scheme matrix — plus
+//! the OrcGC-annotated variant.
+use reclaim::{SchemeKind, Smr};
 use std::sync::Arc;
 use structures::tree::NmTree;
 
-fn run_iter<S: Smr>(set: &Arc<NmTree<u64, S>>, it: usize) {
+fn run_iter<S: Smr>(set: &Arc<NmTree<u64, S>>, label: &str, it: usize) {
     let threads = 4;
     let per = 64u64;
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let set = set.clone();
+            let label = label.to_string();
             std::thread::spawn(move || {
                 let base = t as u64 * per;
                 for round in 0..8 {
                     for k in base..base + per {
-                        assert!(set.add(k), "it{it} round{round}: add({k}) failed");
+                        assert!(set.add(k), "{label} it{it} round{round}: add({k}) failed");
                     }
                     for k in base..base + per {
-                        assert!(set.contains(&k), "it{it} round{round}: contains({k})");
+                        assert!(
+                            set.contains(&k),
+                            "{label} it{it} round{round}: contains({k})"
+                        );
                     }
                     for k in base..base + per {
-                        assert!(set.remove(&k), "it{it} round{round}: remove({k})");
+                        assert!(set.remove(&k), "{label} it{it} round{round}: remove({k})");
                     }
                     for k in base..base + per {
-                        assert!(!set.contains(&k), "it{it} round{round}: gone({k})");
+                        assert!(!set.contains(&k), "{label} it{it} round{round}: gone({k})");
                     }
                 }
             })
@@ -35,18 +41,12 @@ fn run_iter<S: Smr>(set: &Arc<NmTree<u64, S>>, it: usize) {
 }
 
 #[test]
-fn hunt_hp() {
-    for it in 0..30 {
-        let set = Arc::new(NmTree::new(HazardPointers::new()));
-        run_iter(&set, it);
-    }
-}
-
-#[test]
-fn hunt_ptp() {
-    for it in 0..30 {
-        let set = Arc::new(NmTree::new(PassThePointer::new()));
-        run_iter(&set, it);
+fn hunt_every_manual_scheme() {
+    for kind in SchemeKind::ALL {
+        for it in 0..12 {
+            let set = Arc::new(NmTree::new(kind.build()));
+            run_iter(&set, kind.name(), it);
+        }
     }
 }
 
@@ -83,23 +83,5 @@ fn hunt_orc() {
         for h in handles {
             h.join().unwrap();
         }
-    }
-}
-
-#[test]
-fn hunt_leaky() {
-    use reclaim::Leaky;
-    for it in 0..30 {
-        let set = Arc::new(NmTree::new(Leaky::new()));
-        run_iter(&set, it);
-    }
-}
-
-#[test]
-fn hunt_ebr() {
-    use reclaim::Ebr;
-    for it in 0..30 {
-        let set = Arc::new(NmTree::new(Ebr::new()));
-        run_iter(&set, it);
     }
 }

@@ -1,21 +1,18 @@
-//! Release-mode hunt for PTB (and HE) races under the Michael list.
-use reclaim::{HazardEras, PassTheBuck, Smr};
+//! Release-mode hunt for scheme races under the Michael list — born as a
+//! targeted PTB/HE hunt, now swept over every manual scheme via
+//! [`SchemeKind::ALL`] (the targeted pair gets no special casing; a new
+//! scheme is hunted by joining the enum).
+use reclaim::{SchemeKind, Smr};
 use std::sync::Arc;
 use structures::list::MichaelList;
 
 #[test]
-fn hunt_ptb() {
-    for _ in 0..3 {
-        let set = Arc::new(MichaelList::new(PassTheBuck::new()));
-        hammer_one(set);
-    }
-}
-
-#[test]
-fn hunt_he() {
-    for _ in 0..3 {
-        let set = Arc::new(MichaelList::new(HazardEras::new()));
-        hammer_one(set);
+fn hunt_every_manual_scheme() {
+    for kind in SchemeKind::ALL {
+        for _ in 0..3 {
+            let set = Arc::new(MichaelList::new(kind.build()));
+            hammer_one(set);
+        }
     }
 }
 

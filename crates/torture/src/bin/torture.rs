@@ -1,56 +1,26 @@
-//! CI soak driver: runs the full torture battery across every scheme and
-//! both benchmark structures, sized by `TORTURE_ITERS` / `TORTURE_THREADS`
-//! (see [`torture::Config::from_env`]). Any violated bound or leaked
+//! CI soak driver: runs the full torture battery over the
+//! (structure × scheme) registry matrix, sized by `TORTURE_ITERS` /
+//! `TORTURE_THREADS` (see [`torture::Config::from_env`]) and sliced by
+//! `ORC_SCHEMES` / `ORC_STRUCTS` (see
+//! [`structures::registry::MatrixFilter::from_env`] — unknown names fail
+//! fast, listing the valid ones). Any violated bound or leaked
 //! allocation panics, failing the run.
 
-use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
-use structures::list::{MichaelList, MichaelListOrc};
-use structures::queue::{MsQueue, MsQueueOrc};
+use reclaim::{SchemeKind, StatsSnapshot};
+use structures::registry::MatrixFilter;
 use torture::{
-    aba_hammer_queue, aba_hammer_set, assert_bounded, assert_unbounded, churn_orc_queue_ledgered,
-    churn_orc_set_ledgered, churn_queue_ledgered, churn_set_ledgered, oversubscription_soak,
-    stalled_reader_churn, Config, STALL_THRESHOLD,
+    aba_queue_cell, aba_set_cell, assert_stall_profile, churn_queue_cell, churn_set_cell,
+    soak_set_cell, soak_threads, stall_cell, Config,
 };
 
-fn stall_battery(cfg: &Config) {
+fn stall_battery(filter: &MatrixFilter, cfg: &Config) {
     println!("== stalled-reader fault injection ==");
     let writers = 2;
-
-    let r = stalled_reader_churn(
-        HazardPointers::with_threshold(STALL_THRESHOLD),
-        writers,
-        cfg.stall_rounds,
-    );
-    report(&r);
-    assert_bounded(&r, writers);
-
-    let r = stalled_reader_churn(
-        PassTheBuck::with_threshold(STALL_THRESHOLD),
-        writers,
-        cfg.stall_rounds,
-    );
-    report(&r);
-    assert_bounded(&r, writers);
-
-    let r = stalled_reader_churn(PassThePointer::new(), writers, cfg.stall_rounds);
-    report(&r);
-    assert_bounded(&r, writers);
-
-    let r = stalled_reader_churn(
-        HazardEras::with_threshold(STALL_THRESHOLD),
-        writers,
-        cfg.stall_rounds,
-    );
-    report(&r);
-    assert_bounded(&r, writers);
-
-    let r = stalled_reader_churn(Ebr::new(), writers, cfg.stall_rounds);
-    report(&r);
-    assert_unbounded(&r);
-
-    let r = stalled_reader_churn(Leaky::new(), writers, cfg.stall_rounds);
-    report(&r);
-    assert_unbounded(&r);
+    for kind in filter.manual_schemes() {
+        let r = stall_cell(kind, writers, cfg.stall_rounds);
+        report(&r);
+        assert_stall_profile(kind, &r, writers);
+    }
 }
 
 fn report(r: &torture::StallReport) {
@@ -61,119 +31,88 @@ fn report(r: &torture::StallReport) {
     println!("        stats: {}", r.stats.summary());
 }
 
-fn ledger_battery(cfg: &Config) {
+fn ledger_battery(filter: &MatrixFilter, cfg: &Config) {
     println!("== leak ledger (scheme × structure) ==");
-    // Fresh scheme instance per ledgered section: each section must hold
-    // the only handles so teardown frees (the leaky stash) land inside it.
-    fn one<S: Smr + Clone>(make: impl Fn() -> S, cfg: &Config) {
-        let name = make().name();
-        let s = churn_set_ledgered::<S, MichaelList<u64, S>>(
-            make(),
-            &format!("{name}/MichaelList"),
-            cfg.threads,
-            cfg.iters,
-        );
-        println!("  {name:<5} MichaelList balanced  [{}]", s.summary());
-        let s = churn_queue_ledgered::<S, MsQueue<u64, S>>(
-            make(),
-            &format!("{name}/MSQueue"),
-            cfg.threads,
-            cfg.iters,
-        );
-        println!("  {name:<5} MSQueue     balanced  [{}]", s.summary());
+    println!("  {}", StatsSnapshot::table_header("cell"));
+    // Fresh scheme instance per ledgered cell (the cell runners own
+    // this): each cell must hold the only handles so teardown frees (the
+    // leaky stash) land inside its ledger window.
+    for cell in filter.set_cells() {
+        let s = churn_set_cell(&cell, cfg.threads, cfg.iters);
+        println!("  {}", s.table_row(&cell.label(), None));
     }
-    one(HazardPointers::new, cfg);
-    one(PassTheBuck::new, cfg);
-    one(PassThePointer::new, cfg);
-    one(HazardEras::new, cfg);
-    one(Ebr::new, cfg);
-    one(Leaky::new, cfg);
-
-    let s = churn_orc_set_ledgered(
-        MichaelListOrc::<u64>::new,
-        "OrcGC/MichaelListOrc",
-        cfg.threads,
-        cfg.iters,
-    );
-    println!("  OrcGC MichaelListOrc balanced  [{}]", s.summary());
-    let s = churn_orc_queue_ledgered(
-        MsQueueOrc::<u64>::new,
-        "OrcGC/MSQueueOrc",
-        cfg.threads,
-        cfg.iters,
-    );
-    println!("  OrcGC MSQueueOrc     balanced  [{}]", s.summary());
+    for cell in filter.queue_cells() {
+        let s = churn_queue_cell(&cell, cfg.threads, cfg.iters);
+        println!("  {}", s.table_row(&cell.label(), None));
+    }
 }
 
-fn soak_battery(cfg: &Config) {
+/// Schemes worth soaking under oversubscription: one per reclamation
+/// style (handover dribble, scan avalanche, epoch bins). The soak is
+/// about registry tid churn, which the structure barely affects — so
+/// restrict it to set cells of these schemes rather than the full matrix.
+const SOAK_SCHEMES: [SchemeKind; 3] = [SchemeKind::Ptp, SchemeKind::Hp, SchemeKind::Ebr];
+
+fn soak_battery(filter: &MatrixFilter, cfg: &Config) {
     println!("== oversubscription soak ==");
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let threads = (4 * cores).min(48);
+    let threads = soak_threads();
     let iters = (cfg.iters / 4).max(500);
-    oversubscription_soak::<_, MichaelList<u64, _>>(
-        PassThePointer::new(),
-        "PTP/soak",
-        cfg.waves,
-        threads,
-        iters,
-    );
-    println!("  PTP   {} waves × {threads} threads balanced", cfg.waves);
-    oversubscription_soak::<_, MichaelList<u64, _>>(
-        HazardPointers::new(),
-        "HP/soak",
-        cfg.waves,
-        threads,
-        iters,
-    );
-    println!("  HP    {} waves × {threads} threads balanced", cfg.waves);
-    oversubscription_soak::<_, MichaelList<u64, _>>(
-        Ebr::new(),
-        "EBR/soak",
-        cfg.waves,
-        threads,
-        iters,
-    );
-    println!("  EBR   {} waves × {threads} threads balanced", cfg.waves);
+    for cell in filter.set_cells() {
+        let soaked = cell
+            .scheme
+            .manual()
+            .is_some_and(|kind| SOAK_SCHEMES.contains(&kind));
+        if !soaked {
+            continue;
+        }
+        soak_set_cell(&cell, cfg.waves, threads, iters);
+        println!(
+            "  {:<22} {} waves × {threads} threads balanced",
+            cell.label(),
+            cfg.waves
+        );
+    }
 }
 
-fn aba_battery(cfg: &Config) {
+fn aba_battery(filter: &MatrixFilter, cfg: &Config) {
     println!("== ABA hammer ==");
-    fn one<S: Smr + Clone>(make: impl Fn() -> S, cfg: &Config) {
-        let name = make().name();
-        aba_hammer_set::<S, MichaelList<u64, S>>(
-            make(),
-            &format!("{name}/aba-list"),
-            cfg.threads,
-            cfg.iters,
-        );
-        aba_hammer_queue::<S, MsQueue<u64, S>>(
-            make(),
-            &format!("{name}/aba-queue"),
-            2,
-            2,
-            cfg.iters,
-        );
-        println!("  {name:<5} list+queue conserved");
+    for cell in filter.set_cells() {
+        aba_set_cell(&cell, cfg.threads, cfg.iters);
+        println!("  {:<22} set conserved", cell.label());
     }
-    one(HazardPointers::new, cfg);
-    one(PassTheBuck::new, cfg);
-    one(PassThePointer::new, cfg);
-    one(HazardEras::new, cfg);
-    one(Ebr::new, cfg);
-    one(Leaky::new, cfg);
+    for cell in filter.queue_cells() {
+        aba_queue_cell(&cell, 2, 2, cfg.iters);
+        println!("  {:<22} queue conserved", cell.label());
+    }
 }
 
 fn main() {
+    let filter = match MatrixFilter::from_env() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("torture: {e}");
+            std::process::exit(2);
+        }
+    };
     let cfg = Config::from_env();
     println!(
         "torture: iters={} threads={} stall_rounds={} waves={}",
         cfg.iters, cfg.threads, cfg.stall_rounds, cfg.waves
     );
-    stall_battery(&cfg);
-    ledger_battery(&cfg);
-    soak_battery(&cfg);
-    aba_battery(&cfg);
+    println!(
+        "torture: schemes [{}], {} set cells, {} queue cells",
+        filter
+            .schemes()
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        filter.set_cells().len(),
+        filter.queue_cells().len(),
+    );
+    stall_battery(&filter, &cfg);
+    ledger_battery(&filter, &cfg);
+    soak_battery(&filter, &cfg);
+    aba_battery(&filter, &cfg);
     println!("torture: all batteries passed");
 }

@@ -1,45 +1,53 @@
 //! Scheme-generic torture harness for the reclamation schemes.
 //!
 //! Every manual scheme ([`reclaim::Smr`]) and the OrcGC domain run through
-//! one uniform battery, built on the uniform traits
-//! ([`structures::SmrSet`] / [`structures::SmrQueue`] /
-//! [`structures::ConcurrentSet`] / [`structures::ConcurrentQueue`]):
+//! one uniform battery, driven by the (structure × scheme) registry
+//! ([`structures::registry`]) so a new scheme or structure is picked up by
+//! every battery without touching this crate:
 //!
 //! 1. **Stalled-reader fault injection** ([`stalled_reader_churn`]) — a
 //!    victim thread is parked *inside* `protect` (via
 //!    [`reclaim::stall`]) while writers churn retire traffic. Bounded
 //!    schemes (HP, PTB, PTP, HE) must keep `unreclaimed()` under a
 //!    rounds-independent ceiling; EBR (and the leaky baseline) must grow
-//!    with the churn — the paper's Table 1 bounds, asserted.
-//! 2. **Leak ledger** ([`churn_set_ledgered`] and friends) — every
-//!    (scheme × structure) pair churns under a [`orc_util::track::Ledger`]
+//!    with the churn — the paper's Table 1 bounds, asserted
+//!    ([`assert_stall_profile`] dispatches on [`SchemeKind::is_bounded`]).
+//! 2. **Leak ledger** ([`churn_set_cell`] and friends) — every
+//!    (scheme × structure) cell churns under a [`orc_util::track::Ledger`]
 //!    and must end with allocations == frees after `flush()` + drop.
-//! 3. **Oversubscription soak** ([`oversubscription_soak`]) — waves of
+//! 3. **Oversubscription soak** ([`soak_set_cell`]) — waves of
 //!    short-lived threads (threads ≫ cores) hammer one structure,
 //!    exercising registry tid reuse and thread-exit orphan handoff.
-//! 4. **ABA hammer** ([`aba_hammer_set`], [`aba_hammer_queue`]) — a tiny
+//! 4. **ABA hammer** ([`aba_set_cell`], [`aba_queue_cell`]) — a tiny
 //!    key universe forces constant address recycling; per-key conservation
 //!    counts catch lost or duplicated nodes.
 //!
+//! Every battery consumes registry cells ([`structures::registry::SetCell`]
+//! / [`QueueCell`]) through one sweep path ([`ledgered_set_cell`] /
+//! [`ledgered_queue_cell`]) that owns the ledger/drain/teardown protocol
+//! for both the manual schemes and the OrcGC domain.
+//!
 //! The `torture` binary drives the full battery for CI soak runs, scaled
-//! by the `TORTURE_ITERS` / `TORTURE_THREADS` environment knobs.
+//! by the `TORTURE_ITERS` / `TORTURE_THREADS` environment knobs and
+//! sliced by the `ORC_SCHEMES` / `ORC_STRUCTS` matrix filters.
 
 use orc_util::registry;
 use orc_util::rng::XorShift64;
 use orc_util::stall::{self, Gate, StallPoint};
 use orc_util::track::Ledger;
-use reclaim::{Smr, StatsSnapshot, MAX_HPS};
+use reclaim::{SchemeKind, Smr, StatsSnapshot, MAX_HPS};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use structures::{ConcurrentQueue, ConcurrentSet, SmrQueue, SmrSet};
+use structures::registry::{DynQueue, DynSet, MakeQueue, MakeSet, QueueCell, SetCell};
+use structures::{ConcurrentQueue, ConcurrentSet};
 
 /// Battery sizing, from the environment (`TORTURE_*`) or fixed defaults.
 #[derive(Debug, Clone)]
 pub struct Config {
     /// Operations per worker thread in churn batteries.
     pub iters: u64,
-    /// Worker threads per battery.
+    /// Worker threads per battery, capped by [`cap_threads`].
     pub threads: usize,
     /// Retire-churn rounds per writer in the stall battery.
     pub stall_rounds: u64,
@@ -49,7 +57,9 @@ pub struct Config {
 
 impl Config {
     /// Reads `TORTURE_ITERS`, `TORTURE_THREADS`, `TORTURE_STALL_ROUNDS`
-    /// and `TORTURE_WAVES`, falling back to soak-sized defaults.
+    /// and `TORTURE_WAVES`, falling back to soak-sized defaults. Thread
+    /// counts are capped by [`cap_threads`], with iterations scaled up to
+    /// preserve total churn.
     pub fn from_env() -> Self {
         fn get(key: &str, default: u64) -> u64 {
             std::env::var(key)
@@ -62,9 +72,11 @@ impl Config {
             .unwrap_or(4);
         // Floors, not just defaults: a typo'd `TORTURE_THREADS=0` would
         // hollow every churn battery into a trivially-green no-op.
+        let (threads, scale) =
+            cap_threads((get("TORTURE_THREADS", cores.clamp(2, 8) as u64) as usize).max(2));
         Self {
-            iters: get("TORTURE_ITERS", 20_000).max(1),
-            threads: (get("TORTURE_THREADS", cores.clamp(2, 8) as u64) as usize).max(2),
+            iters: get("TORTURE_ITERS", 20_000).max(1) * scale,
+            threads,
             stall_rounds: get("TORTURE_STALL_ROUNDS", 4_000).max(1),
             waves: (get("TORTURE_WAVES", 4) as usize).max(1),
         }
@@ -72,13 +84,43 @@ impl Config {
 
     /// Small fixed sizing for `cargo test` (seconds, not minutes).
     pub fn short() -> Self {
+        let (threads, scale) = cap_threads(4);
         Self {
-            iters: 3_000,
-            threads: 4,
+            iters: 3_000 * scale,
+            threads,
             stall_rounds: 1_500,
             waves: 3,
         }
     }
+}
+
+/// Caps a requested worker-thread count at twice the host's
+/// [`std::thread::available_parallelism`] (floor 2 — the batteries need
+/// real concurrency), returning the capped count and the iteration
+/// multiplier that preserves `threads × iters`. Spin-heavy batteries
+/// oversubscribed far beyond the core count hang intermittently on
+/// small hosts; scaling iterations instead of skipping keeps the churn
+/// volume and the coverage.
+pub fn cap_threads(requested: usize) -> (usize, u64) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let cap = (2 * cores).max(2);
+    if requested <= cap {
+        (requested.max(1), 1)
+    } else {
+        (cap, (requested as u64).div_ceil(cap as u64))
+    }
+}
+
+/// Thread count for the oversubscription soak: deliberately above the
+/// core count (that is the battery's point) but derived from it, so a
+/// single-core host spawns 4 short-lived threads per wave rather than 48.
+pub fn soak_threads() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    (4 * cores).clamp(4, 48)
 }
 
 /// The threshold the stall battery constructs bounded schemes with
@@ -114,11 +156,37 @@ pub fn bounded_ceiling(writers: usize) -> usize {
     2 * writers * STALL_THRESHOLD + MAX_HPS * registry::registered_watermark() + 64
 }
 
+/// Runs the stall battery for one scheme off the registry axis: bounded
+/// schemes are built with the deterministic [`STALL_THRESHOLD`].
+pub fn stall_cell(kind: SchemeKind, writers: usize, rounds: u64) -> StallReport {
+    stalled_reader_churn(kind.build_with_threshold(STALL_THRESHOLD), writers, rounds)
+}
+
+/// Asserts the Table-1 profile for `kind`: [`assert_bounded`] for the
+/// pointer-based schemes, [`assert_unbounded`] for EBR and the leaky
+/// baseline (which additionally must never drain).
+pub fn assert_stall_profile(kind: SchemeKind, r: &StallReport, writers: usize) {
+    if kind.is_bounded() {
+        assert_bounded(r, writers);
+    } else {
+        assert_unbounded(r);
+        if kind.reclaims() {
+            assert!(
+                r.drained,
+                "{}: failed to drain after the stalled reader resumed",
+                r.scheme
+            );
+        } else {
+            assert!(!r.drained, "the leaky baseline must never reclaim mid-run");
+        }
+    }
+}
+
 /// Parks a victim thread inside `protect` (holding a live protection on a
 /// shared node), then churns `rounds` alloc→swap→retire cycles on each of
 /// `writers` writer threads. Reports the unreclaimed watermarks; callers
 /// assert boundedness per scheme with [`assert_bounded`] /
-/// [`assert_unbounded`].
+/// [`assert_unbounded`] (or [`assert_stall_profile`]).
 ///
 /// The victim dereferences its protected pointer *after* the writers have
 /// retired it and churned past — the use-after-free check TSan/ASan bite
@@ -260,7 +328,122 @@ pub fn drain<S: Smr>(smr: &S, attempts: usize) -> bool {
     smr.unreclaimed() == 0
 }
 
-fn churn_set<T: ConcurrentSet<u64>>(set: &T, threads: usize, iters: u64, seed: u64) {
+// ---------------------------------------------------------------------
+// The sweep path: one ledgered protocol for every (scheme × structure)
+// cell, manual or OrcGC.
+// ---------------------------------------------------------------------
+
+/// Runs `body` against a freshly built set for one registry cell, under
+/// the leak ledger, with the full teardown protocol:
+///
+/// * **manual cells** — build the scheme from the cell's axis, churn,
+///   [`drain`] to `unreclaimed() == 0` (reclaiming schemes), snapshot
+///   stats, drop the last scheme handle, assert the ledger balanced;
+/// * **OrcGC cells** — churn, then flush this thread's handover slots
+///   until the ledger settles; the returned snapshot is the *delta* of
+///   [`orcgc::domain_stats`] (the domain is process-global).
+///
+/// This is the one place the ledger/drain/teardown discipline lives —
+/// every battery (churn, soak, ABA) layers a different `body` over it.
+pub fn ledgered_set_cell<R>(cell: &SetCell, body: impl FnOnce(&DynSet) -> R) -> (R, StatsSnapshot) {
+    let label = cell.label();
+    match cell.make {
+        MakeSet::Manual(make) => {
+            let kind = cell.scheme.manual().expect("manual cell");
+            let smr = kind.build();
+            let ledger = Ledger::open();
+            let r;
+            {
+                let set = make(smr.clone());
+                r = body(&set);
+                if kind.reclaims() {
+                    assert!(
+                        drain(&smr, 400),
+                        "{label}: flush left {} objects unreclaimed",
+                        smr.unreclaimed()
+                    );
+                }
+            }
+            let stats = smr.stats();
+            // The structure freed its remaining nodes in Drop; the last
+            // scheme handle frees anything still parked (the leaky
+            // baseline's stash).
+            drop(smr);
+            ledger.assert_balanced(&label);
+            (r, stats)
+        }
+        MakeSet::Orc(make) => {
+            let base = orcgc::domain_stats();
+            let ledger = Ledger::open();
+            let r;
+            {
+                let set = make();
+                r = body(&set);
+            }
+            settle_orc(&ledger, &label);
+            (r, orcgc::domain_stats().since(&base))
+        }
+    }
+}
+
+/// Queue flavor of [`ledgered_set_cell`]. The runner drains the queue
+/// empty after `body` returns (a queue teardown must not depend on Drop
+/// alone to free linked items).
+pub fn ledgered_queue_cell<R>(
+    cell: &QueueCell,
+    body: impl FnOnce(&DynQueue) -> R,
+) -> (R, StatsSnapshot) {
+    let label = cell.label();
+    match cell.make {
+        MakeQueue::Manual(make) => {
+            let kind = cell.scheme.manual().expect("manual cell");
+            let smr = kind.build();
+            let ledger = Ledger::open();
+            let r;
+            {
+                let q = make(smr.clone());
+                r = body(&q);
+                while q.dequeue().is_some() {}
+                if kind.reclaims() {
+                    assert!(
+                        drain(&smr, 400),
+                        "{label}: flush left {} objects unreclaimed",
+                        smr.unreclaimed()
+                    );
+                }
+            }
+            let stats = smr.stats();
+            drop(smr);
+            ledger.assert_balanced(&label);
+            (r, stats)
+        }
+        MakeQueue::Orc(make) => {
+            let base = orcgc::domain_stats();
+            let ledger = Ledger::open();
+            let r;
+            {
+                let q = make();
+                r = body(&q);
+                while q.dequeue().is_some() {}
+            }
+            settle_orc(&ledger, &label);
+            (r, orcgc::domain_stats().since(&base))
+        }
+    }
+}
+
+fn settle_orc(ledger: &Ledger, label: &str) {
+    for _ in 0..400 {
+        if ledger.delta().is_balanced() {
+            break;
+        }
+        orcgc::flush_thread();
+        std::thread::yield_now();
+    }
+    ledger.assert_balanced(label);
+}
+
+fn churn_set<T: ConcurrentSet<u64> + ?Sized>(set: &T, threads: usize, iters: u64, seed: u64) {
     std::thread::scope(|sc| {
         for t in 0..threads {
             let set = &*set;
@@ -285,205 +468,69 @@ fn churn_set<T: ConcurrentSet<u64>>(set: &T, threads: usize, iters: u64, seed: u
     });
 }
 
-/// Leak-ledger battery for one (scheme × set-structure) pair: churn under
-/// a [`Ledger`], flush, drop, and assert allocations == frees. Returns the
-/// scheme's orc-stats snapshot from just before the final teardown, so
-/// callers can assert telemetry invariants on top of the leak balance.
-pub fn churn_set_ledgered<S, T>(smr: S, label: &str, threads: usize, iters: u64) -> StatsSnapshot
-where
-    S: Smr + Clone,
-    T: SmrSet<S>,
-{
-    let ledger = Ledger::open();
-    {
-        let set = T::with_smr(smr.clone());
-        churn_set(&set, threads, iters, 0x5e7_c4e8);
-        let s = SmrSet::smr(&set);
-        if s.name() != "None" {
-            assert!(
-                drain(s, 400),
-                "{label}: flush left {} objects unreclaimed",
-                s.unreclaimed()
-            );
-        }
-    }
-    let stats = smr.stats();
-    // The structure freed its remaining nodes in Drop; the last scheme
-    // handle frees anything still parked (the leaky baseline's stash).
-    drop(smr);
-    ledger.assert_balanced(label);
-    stats
-}
-
-/// Leak-ledger battery for one (scheme × queue-structure) pair. Returns
-/// the scheme's orc-stats snapshot like [`churn_set_ledgered`].
-pub fn churn_queue_ledgered<S, T>(smr: S, label: &str, threads: usize, iters: u64) -> StatsSnapshot
-where
-    S: Smr + Clone,
-    T: SmrQueue<S>,
-{
-    let ledger = Ledger::open();
-    {
-        let q = T::with_smr(smr.clone());
-        std::thread::scope(|sc| {
-            for t in 0..threads {
-                let q = &q;
-                sc.spawn(move || {
-                    let mut rng = XorShift64::new(0x9_c4e8 ^ ((t as u64 + 1) << 24));
-                    for i in 0..iters {
-                        if rng.next_bounded(2) == 0 {
-                            q.enqueue(i);
-                        } else {
-                            q.dequeue();
-                        }
+fn churn_queue<T: ConcurrentQueue<u64> + ?Sized>(q: &T, threads: usize, iters: u64, seed: u64) {
+    std::thread::scope(|sc| {
+        for t in 0..threads {
+            let q = &*q;
+            sc.spawn(move || {
+                let mut rng = XorShift64::new(seed ^ ((t as u64 + 1) << 24));
+                for i in 0..iters {
+                    if rng.next_bounded(2) == 0 {
+                        q.enqueue(i);
+                    } else {
+                        q.dequeue();
                     }
-                });
-            }
-        });
-        while q.dequeue().is_some() {}
-        let s = SmrQueue::smr(&q);
-        if s.name() != "None" {
-            assert!(
-                drain(s, 400),
-                "{label}: flush left {} objects unreclaimed",
-                s.unreclaimed()
-            );
+                }
+            });
         }
-    }
-    let stats = smr.stats();
-    drop(smr);
-    ledger.assert_balanced(label);
-    stats
+    });
 }
 
-/// Leak-ledger battery for an OrcGC-annotated structure (set flavor): the
-/// domain is process-global, so balance is reached by flushing this
-/// thread's handover slots until the ledger settles. Returns the *delta*
-/// of [`orcgc::domain_stats`] across the battery (the domain outlives it).
-pub fn churn_orc_set_ledgered<T, F>(
-    make: F,
-    label: &str,
-    threads: usize,
-    iters: u64,
-) -> StatsSnapshot
-where
-    T: ConcurrentSet<u64>,
-    F: FnOnce() -> T,
-{
-    let base = orcgc::domain_stats();
-    let ledger = Ledger::open();
-    {
-        let set = make();
-        churn_set(&set, threads, iters, 0x0c_97c5);
-    }
-    settle_orc(&ledger, label);
-    orcgc::domain_stats().since(&base)
+/// Leak-ledger churn battery for one (scheme × set) cell. Returns the
+/// cell's stats snapshot (manual: the scheme instance; OrcGC: the domain
+/// delta) so callers can assert telemetry invariants on top of the leak
+/// balance.
+pub fn churn_set_cell(cell: &SetCell, threads: usize, iters: u64) -> StatsSnapshot {
+    ledgered_set_cell(cell, |set| churn_set(set, threads, iters, 0x5e7_c4e8)).1
 }
 
-/// Leak-ledger battery for an OrcGC-annotated queue. Returns the domain
-/// stats delta like [`churn_orc_set_ledgered`].
-pub fn churn_orc_queue_ledgered<T, F>(
-    make: F,
-    label: &str,
-    threads: usize,
-    iters: u64,
-) -> StatsSnapshot
-where
-    T: ConcurrentQueue<u64>,
-    F: FnOnce() -> T,
-{
-    let base = orcgc::domain_stats();
-    let ledger = Ledger::open();
-    {
-        let q = make();
-        std::thread::scope(|sc| {
-            for t in 0..threads {
-                let q = &q;
-                sc.spawn(move || {
-                    let mut rng = XorShift64::new(0x0c_97c6 ^ ((t as u64 + 1) << 24));
-                    for i in 0..iters {
-                        if rng.next_bounded(2) == 0 {
-                            q.enqueue(i);
-                        } else {
-                            q.dequeue();
-                        }
-                    }
-                });
-            }
-        });
-        while q.dequeue().is_some() {}
-    }
-    settle_orc(&ledger, label);
-    orcgc::domain_stats().since(&base)
+/// Leak-ledger churn battery for one (scheme × queue) cell; see
+/// [`churn_set_cell`].
+pub fn churn_queue_cell(cell: &QueueCell, threads: usize, iters: u64) -> StatsSnapshot {
+    ledgered_queue_cell(cell, |q| churn_queue(q, threads, iters, 0x9_c4e8)).1
 }
 
-fn settle_orc(ledger: &Ledger, label: &str) {
-    for _ in 0..400 {
-        if ledger.delta().is_balanced() {
-            break;
-        }
-        orcgc::flush_thread();
-        std::thread::yield_now();
-    }
-    ledger.assert_balanced(label);
-}
-
-/// Oversubscription soak: `waves` successive spawn/join waves of
-/// `threads_per_wave` short-lived threads (intended to be ≫ cores) churn
-/// one shared set. Exercises registry tid reuse, per-thread state
-/// re-attachment, and thread-exit orphan handoff — then the usual
-/// flush/drop/ledger teardown.
-pub fn oversubscription_soak<S, T>(
-    smr: S,
-    label: &str,
-    waves: usize,
-    threads_per_wave: usize,
-    iters: u64,
-) where
-    S: Smr + Clone,
-    T: SmrSet<S>,
-{
+/// Oversubscription soak for one set cell: `waves` successive spawn/join
+/// waves of `threads_per_wave` short-lived threads (intended to be ≫
+/// cores, see [`soak_threads`]) churn one shared structure. Exercises
+/// registry tid reuse, per-thread state re-attachment, and thread-exit
+/// orphan handoff — then the usual flush/drop/ledger teardown.
+pub fn soak_set_cell(cell: &SetCell, waves: usize, threads_per_wave: usize, iters: u64) {
     assert!(
         threads_per_wave < registry::MAX_THREADS,
         "soak sizing exceeds the registry capacity"
     );
-    let ledger = Ledger::open();
-    {
-        let set = T::with_smr(smr.clone());
+    let label = cell.label();
+    ledgered_set_cell(cell, |set| {
         for wave in 0..waves {
-            churn_set(&set, threads_per_wave, iters, 0x50a_c000 + wave as u64);
+            churn_set(set, threads_per_wave, iters, 0x50a_c000 + wave as u64);
             assert!(
                 registry::registered_watermark() <= registry::MAX_THREADS,
                 "{label}: registry watermark escaped its bound"
             );
         }
-        let s = SmrSet::smr(&set);
-        if s.name() != "None" {
-            assert!(
-                drain(s, 400),
-                "{label}: flush left {} objects unreclaimed",
-                s.unreclaimed()
-            );
-        }
-    }
-    drop(smr);
-    ledger.assert_balanced(label);
+    });
 }
 
-/// ABA hammer over a set: a tiny key universe (8 keys) forces every node
-/// address to be freed and re-allocated constantly, so a stale (recycled)
-/// pointer surviving a CAS would corrupt the list. Per-key conservation
-/// counts (successful adds − successful removes) must equal the final
-/// membership exactly.
-pub fn aba_hammer_set<S, T>(smr: S, label: &str, threads: usize, iters: u64)
-where
-    S: Smr + Clone,
-    T: SmrSet<S>,
-{
+/// ABA hammer over one set cell: a tiny key universe (8 keys) forces every
+/// node address to be freed and re-allocated constantly, so a stale
+/// (recycled) pointer surviving a CAS would corrupt the structure. Per-key
+/// conservation counts (successful adds − successful removes) must equal
+/// the final membership exactly.
+pub fn aba_set_cell(cell: &SetCell, threads: usize, iters: u64) {
     const KEYS: u64 = 8;
-    let ledger = Ledger::open();
-    {
-        let set = T::with_smr(smr.clone());
+    let label = cell.label();
+    ledgered_set_cell(cell, |set| {
         let net: Vec<AtomicI64> = (0..KEYS).map(|_| AtomicI64::new(0)).collect();
         std::thread::scope(|sc| {
             for t in 0..threads {
@@ -516,30 +563,15 @@ where
                 "{label}: key {k} membership disagrees with its conservation count"
             );
         }
-        let s = SmrSet::smr(&set);
-        if s.name() != "None" {
-            assert!(
-                drain(s, 400),
-                "{label}: flush left {} objects unreclaimed",
-                s.unreclaimed()
-            );
-        }
-    }
-    drop(smr);
-    ledger.assert_balanced(label);
+    });
 }
 
-/// ABA hammer over a queue: producers enqueue a known arithmetic series,
-/// consumers drain it; the dequeued sum must match exactly (no lost or
-/// duplicated items) and the queue must end empty.
-pub fn aba_hammer_queue<S, T>(smr: S, label: &str, producers: usize, consumers: usize, per: u64)
-where
-    S: Smr + Clone,
-    T: SmrQueue<S>,
-{
-    let ledger = Ledger::open();
-    {
-        let q = T::with_smr(smr.clone());
+/// ABA hammer over one queue cell: producers enqueue a known arithmetic
+/// series, consumers drain it; the dequeued sum must match exactly (no
+/// lost or duplicated items) and the queue must end empty.
+pub fn aba_queue_cell(cell: &QueueCell, producers: usize, consumers: usize, per: u64) {
+    let label = cell.label();
+    ledgered_queue_cell(cell, |q| {
         let want = producers as u64 * per;
         let expected: u64 = (0..want).sum();
         let sum = AtomicU64::new(0);
@@ -563,7 +595,10 @@ where
                             sum.fetch_add(v, Ordering::SeqCst);
                             got.fetch_add(1, Ordering::SeqCst);
                         } else {
-                            std::hint::spin_loop();
+                            // Yield, don't spin: oversubscribed consumers
+                            // busy-spinning on an empty queue starve the
+                            // producers on small hosts.
+                            std::thread::yield_now();
                         }
                     }
                 });
@@ -575,15 +610,5 @@ where
             "{label}: dequeued sum mismatch — items were lost or duplicated (ABA)"
         );
         assert_eq!(q.dequeue(), None, "{label}: queue not empty after drain");
-        let s = SmrQueue::smr(&q);
-        if s.name() != "None" {
-            assert!(
-                drain(s, 400),
-                "{label}: flush left {} objects unreclaimed",
-                s.unreclaimed()
-            );
-        }
-    }
-    drop(smr);
-    ledger.assert_balanced(label);
+    });
 }

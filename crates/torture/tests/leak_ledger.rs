@@ -1,88 +1,30 @@
-//! Leak-ledger battery: every (scheme × structure) pair must end a churn
-//! with allocations == frees after `flush()` + drop. Covers the six
-//! manual schemes on both benchmark structures plus the OrcGC-annotated
-//! variants (whose reclamation is driven by the process-global domain).
+//! Leak-ledger battery: every cell of the (scheme × structure) registry
+//! matrix must end a churn with allocations == frees after `flush()` +
+//! drop — the six manual schemes on every registered structure, plus
+//! every OrcGC-annotated variant (whose reclamation is driven by the
+//! process-global domain).
 //!
-//! Every test here opens the ledger (which serializes ledgered sections),
-//! so the per-process allocation counters can't be polluted by a
+//! The matrix comes from [`MatrixFilter::full`], so a structure or scheme
+//! added to the registry is leak-tested here with no edit to this file.
+//! Ledgered sections serialize (the ledger is process-global), so the
+//! per-process allocation counters can't be polluted by a
 //! concurrently-running test in this binary.
 
-use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
-use structures::list::{MichaelList, MichaelListOrc};
-use structures::queue::{MsQueue, MsQueueOrc};
-use torture::{
-    churn_orc_queue_ledgered, churn_orc_set_ledgered, churn_queue_ledgered, churn_set_ledgered,
-    Config,
-};
+use structures::registry::MatrixFilter;
+use torture::{churn_queue_cell, churn_set_cell, Config};
 
-/// Each ledgered section must own the *only* handles to its scheme (the
-/// leaky baseline frees its stash at last-handle drop), so the battery
-/// takes a factory and builds a fresh instance per section.
-fn both<S: Smr + Clone>(make: impl Fn() -> S) {
+#[test]
+fn every_set_cell_balances() {
     let cfg = Config::short();
-    let name = make().name();
-    churn_set_ledgered::<S, MichaelList<u64, S>>(
-        make(),
-        &format!("{name}/MichaelList"),
-        cfg.threads,
-        cfg.iters,
-    );
-    churn_queue_ledgered::<S, MsQueue<u64, S>>(
-        make(),
-        &format!("{name}/MSQueue"),
-        cfg.threads,
-        cfg.iters,
-    );
+    for cell in MatrixFilter::full().set_cells() {
+        churn_set_cell(&cell, cfg.threads, cfg.iters);
+    }
 }
 
 #[test]
-fn hp_balances() {
-    both(HazardPointers::new);
-}
-
-#[test]
-fn ptb_balances() {
-    both(PassTheBuck::new);
-}
-
-#[test]
-fn ptp_balances() {
-    both(PassThePointer::new);
-}
-
-#[test]
-fn he_balances() {
-    both(HazardEras::new);
-}
-
-#[test]
-fn ebr_balances() {
-    both(Ebr::new);
-}
-
-#[test]
-fn leaky_balances_at_teardown() {
-    both(Leaky::new);
-}
-
-#[test]
-fn orcgc_list_balances() {
+fn every_queue_cell_balances() {
     let cfg = Config::short();
-    churn_orc_set_ledgered(
-        MichaelListOrc::<u64>::new,
-        "OrcGC/MichaelListOrc",
-        cfg.threads,
-        cfg.iters,
-    );
-}
-
-#[test]
-fn orcgc_queue_balances() {
-    let cfg = Config::short();
-    churn_orc_queue_ledgered(
-        MsQueueOrc::<u64>::new,
-        "OrcGC/MSQueueOrc",
-        cfg.threads,
-        cfg.iters,
-    );
+    for cell in MatrixFilter::full().queue_cells() {
+        churn_queue_cell(&cell, cfg.threads, cfg.iters);
+    }
 }

@@ -1,94 +1,43 @@
 //! Oversubscription soak (threads ≫ cores, registry tid reuse across
 //! spawn/join waves) and the ABA hammer (tiny key universe → constant
-//! address recycling) — both under the leak ledger.
+//! address recycling) — both under the leak ledger, both sweeping the
+//! (scheme × structure) registry matrix.
 
-use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
-use structures::list::MichaelList;
-use structures::queue::MsQueue;
-use torture::{aba_hammer_queue, aba_hammer_set, oversubscription_soak, Config};
+use reclaim::SchemeKind;
+use structures::registry::MatrixFilter;
+use torture::{aba_queue_cell, aba_set_cell, soak_set_cell, soak_threads, Config};
 
-fn soak_threads() -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    (4 * cores).min(48)
-}
+/// One scheme per reclamation style (handover dribble, scan avalanche,
+/// epoch bins): the soak is about registry tid churn, which the scheme's
+/// reclamation machinery feels and the structure barely does.
+const SOAK_SCHEMES: [SchemeKind; 3] = [SchemeKind::Ptp, SchemeKind::Hp, SchemeKind::Ebr];
 
 #[test]
-fn oversubscribed_waves_ptp() {
+fn oversubscribed_waves() {
     let cfg = Config::short();
-    oversubscription_soak::<_, MichaelList<u64, _>>(
-        PassThePointer::new(),
-        "PTP/soak",
-        cfg.waves,
-        soak_threads(),
-        600,
-    );
+    for cell in MatrixFilter::full().set_cells() {
+        let soaked = cell
+            .scheme
+            .manual()
+            .is_some_and(|kind| SOAK_SCHEMES.contains(&kind));
+        if soaked {
+            soak_set_cell(&cell, cfg.waves, soak_threads(), 600);
+        }
+    }
 }
 
 #[test]
-fn oversubscribed_waves_hp() {
+fn aba_hammer_every_set_cell() {
     let cfg = Config::short();
-    oversubscription_soak::<_, MichaelList<u64, _>>(
-        HazardPointers::new(),
-        "HP/soak",
-        cfg.waves,
-        soak_threads(),
-        600,
-    );
+    for cell in MatrixFilter::full().set_cells() {
+        aba_set_cell(&cell, cfg.threads, cfg.iters);
+    }
 }
 
 #[test]
-fn oversubscribed_waves_ebr() {
+fn aba_hammer_every_queue_cell() {
     let cfg = Config::short();
-    oversubscription_soak::<_, MichaelList<u64, _>>(
-        Ebr::new(),
-        "EBR/soak",
-        cfg.waves,
-        soak_threads(),
-        600,
-    );
-}
-
-/// Fresh scheme instance per ledgered section (see `leak_ledger.rs`).
-fn hammer<S: Smr + Clone>(make: impl Fn() -> S) {
-    let cfg = Config::short();
-    let name = make().name();
-    aba_hammer_set::<S, MichaelList<u64, S>>(
-        make(),
-        &format!("{name}/aba-list"),
-        cfg.threads,
-        cfg.iters,
-    );
-    aba_hammer_queue::<S, MsQueue<u64, S>>(make(), &format!("{name}/aba-queue"), 2, 2, cfg.iters);
-}
-
-#[test]
-fn aba_hammer_hp() {
-    hammer(HazardPointers::new);
-}
-
-#[test]
-fn aba_hammer_ptb() {
-    hammer(PassTheBuck::new);
-}
-
-#[test]
-fn aba_hammer_ptp() {
-    hammer(PassThePointer::new);
-}
-
-#[test]
-fn aba_hammer_he() {
-    hammer(HazardEras::new);
-}
-
-#[test]
-fn aba_hammer_ebr() {
-    hammer(Ebr::new);
-}
-
-#[test]
-fn aba_hammer_leaky() {
-    hammer(Leaky::new);
+    for cell in MatrixFilter::full().queue_cells() {
+        aba_queue_cell(&cell, 2, 2, cfg.iters);
+    }
 }

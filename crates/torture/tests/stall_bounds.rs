@@ -2,12 +2,16 @@
 //! published, never released) must not break the bounded schemes'
 //! unreclaimed ceiling — and must break EBR's.
 //!
-//! Each test wraps its run in the leak ledger, so these also prove the
-//! stall path itself leaks nothing once the victim resumes.
+//! One loop over [`SchemeKind::ALL`] — the per-scheme expectation lives
+//! on the kind itself ([`SchemeKind::is_bounded`], dispatched by
+//! [`assert_stall_profile`]), so a new scheme is covered (and must
+//! declare its Table-1 column) the moment it joins the enum. Each run is
+//! wrapped in the leak ledger, so these also prove the stall path itself
+//! leaks nothing once the victim resumes.
 
 use orc_util::track::Ledger;
-use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer};
-use torture::{assert_bounded, assert_unbounded, stalled_reader_churn, Config, STALL_THRESHOLD};
+use reclaim::SchemeKind;
+use torture::{assert_stall_profile, stall_cell, Config};
 
 const WRITERS: usize = 2;
 
@@ -16,70 +20,16 @@ fn rounds() -> u64 {
 }
 
 #[test]
-fn hp_bounded_under_stalled_reader() {
-    let ledger = Ledger::open();
-    let r = stalled_reader_churn(
-        HazardPointers::with_threshold(STALL_THRESHOLD),
-        WRITERS,
-        rounds(),
-    );
-    assert_bounded(&r, WRITERS);
-    ledger.assert_balanced("HP/stall");
-}
-
-#[test]
-fn ptb_bounded_under_stalled_reader() {
-    let ledger = Ledger::open();
-    let r = stalled_reader_churn(
-        PassTheBuck::with_threshold(STALL_THRESHOLD),
-        WRITERS,
-        rounds(),
-    );
-    assert_bounded(&r, WRITERS);
-    ledger.assert_balanced("PTB/stall");
-}
-
-#[test]
-fn ptp_bounded_under_stalled_reader() {
-    let ledger = Ledger::open();
-    let r = stalled_reader_churn(PassThePointer::new(), WRITERS, rounds());
-    assert_bounded(&r, WRITERS);
-    ledger.assert_balanced("PTP/stall");
-}
-
-#[test]
-fn he_bounded_under_stalled_reader() {
-    let ledger = Ledger::open();
-    let r = stalled_reader_churn(
-        HazardEras::with_threshold(STALL_THRESHOLD),
-        WRITERS,
-        rounds(),
-    );
-    assert_bounded(&r, WRITERS);
-    ledger.assert_balanced("HE/stall");
-}
-
-#[test]
-fn ebr_unbounded_under_stalled_reader() {
-    let ledger = Ledger::open();
-    let r = stalled_reader_churn(Ebr::new(), WRITERS, rounds());
-    assert_unbounded(&r);
-    // Once the pinned victim resumed, everything must still drain.
-    assert!(r.drained, "EBR failed to drain after the victim resumed");
-    ledger.assert_balanced("EBR/stall");
-}
-
-#[test]
-fn leaky_keeps_everything_until_teardown() {
-    let ledger = Ledger::open();
-    let smr = Leaky::new();
-    let r = stalled_reader_churn(smr.clone(), WRITERS, rounds());
-    assert_unbounded(&r);
-    assert!(!r.drained, "the leaky baseline must never reclaim mid-run");
-    // Teardown (last handle dropped) frees the stash — the ledger proves
-    // the baseline is leak-*accounted*, not leak-silent.
-    drop(smr);
-    ledger.assert_balanced("Leaky/stall");
+fn table1_profile_for_every_scheme() {
+    for kind in SchemeKind::ALL {
+        let ledger = Ledger::open();
+        let r = stall_cell(kind, WRITERS, rounds());
+        assert_stall_profile(kind, &r, WRITERS);
+        // The stall run dropped its last scheme handle on return, so even
+        // the leaky baseline's stash has been freed by now: the baseline
+        // is leak-*accounted*, not leak-silent.
+        ledger.assert_balanced(&format!("{kind}/stall"));
+    }
 }
 
 /// The contrast the paper's Figure 1 plots: same churn, same stall — the
@@ -88,12 +38,8 @@ fn leaky_keeps_everything_until_teardown() {
 #[test]
 fn bounded_vs_unbounded_contrast() {
     let ledger = Ledger::open();
-    let hp = stalled_reader_churn(
-        HazardPointers::with_threshold(STALL_THRESHOLD),
-        WRITERS,
-        rounds(),
-    );
-    let ebr = stalled_reader_churn(Ebr::new(), WRITERS, rounds());
+    let hp = stall_cell(SchemeKind::Hp, WRITERS, rounds());
+    let ebr = stall_cell(SchemeKind::Ebr, WRITERS, rounds());
     assert!(
         ebr.stalled_flush_unreclaimed > 4 * hp.stalled_flush_unreclaimed.max(1),
         "expected a clear separation: HP kept {}, EBR kept {}",

@@ -9,22 +9,21 @@
 //!
 //! The per-scheme micro-tests live in `reclaim/tests/stats.rs`; here the
 //! same invariants are asserted on top of the *full* ledgered churn
-//! battery (multi-threaded, structure-driven, teardown included), which
-//! is exactly the run the ISSUE's acceptance bar names.
+//! battery (multi-threaded, structure-driven, teardown included), swept
+//! over every cell of the (scheme × structure) registry matrix — manual
+//! cells against the scheme instance's counters, OrcGC cells against the
+//! process-global domain's delta.
 
-use reclaim::StatsSnapshot;
-use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
-use structures::list::{MichaelList, MichaelListOrc};
-use structures::queue::{MsQueue, MsQueueOrc};
-use torture::{
-    churn_orc_queue_ledgered, churn_orc_set_ledgered, churn_queue_ledgered, churn_set_ledgered,
-    Config,
-};
+use reclaim::{SchemeKind, Smr, StatsSnapshot};
+use structures::registry::{MatrixFilter, SchemeAxis};
+use structures::ConcurrentSet;
+use torture::{churn_queue_cell, churn_set_cell, Config};
 
-/// Invariants every post-drain battery snapshot must satisfy. The
-/// ledgered helpers drain to `unreclaimed() == 0` before snapshotting
-/// (structure teardown uses `dealloc_now`, which never retires), so a
-/// reclaiming scheme must come back exactly balanced.
+/// Invariants every post-drain battery snapshot must satisfy. The cell
+/// runners drain to `unreclaimed() == 0` before snapshotting (structure
+/// teardown uses `dealloc_now`, which never retires), so a reclaiming
+/// scheme must come back exactly balanced; for OrcGC cells the snapshot
+/// is the domain delta over the cell, balanced once the ledger settled.
 fn assert_quiescent(label: &str, s: &StatsSnapshot, reclaiming: bool) {
     assert!(
         s.reclaims <= s.retires,
@@ -55,136 +54,106 @@ fn assert_quiescent(label: &str, s: &StatsSnapshot, reclaiming: bool) {
     }
 }
 
-fn battery<S: Smr + Clone>(make: impl Fn() -> S, reclaiming: bool) {
+/// Whether a cell's scheme reclaims at all (everything but the leaky
+/// baseline; the OrcGC domain always does).
+fn reclaims(axis: SchemeAxis) -> bool {
+    axis.manual().is_none_or(|kind| kind.reclaims())
+}
+
+#[test]
+fn every_set_cell_stats_balance() {
     let cfg = Config::short();
-    let name = make().name();
-    let s = churn_set_ledgered::<S, MichaelList<u64, S>>(
-        make(),
-        &format!("{name}/MichaelList/stats"),
-        cfg.threads,
-        cfg.iters,
-    );
-    assert_quiescent(&format!("{name}/MichaelList"), &s, reclaiming);
-    let s = churn_queue_ledgered::<S, MsQueue<u64, S>>(
-        make(),
-        &format!("{name}/MSQueue/stats"),
-        cfg.threads,
-        cfg.iters,
-    );
-    assert_quiescent(&format!("{name}/MSQueue"), &s, reclaiming);
+    for cell in MatrixFilter::full().set_cells() {
+        let s = churn_set_cell(&cell, cfg.threads, cfg.iters);
+        assert_quiescent(&cell.label(), &s, reclaims(cell.scheme));
+    }
 }
 
 #[test]
-fn hp_battery_stats_balance() {
-    battery(HazardPointers::new, true);
-}
-
-#[test]
-fn ptb_battery_stats_balance() {
-    battery(PassTheBuck::new, true);
-}
-
-#[test]
-fn ptp_battery_stats_balance() {
-    battery(PassThePointer::new, true);
-}
-
-#[test]
-fn he_battery_stats_balance() {
-    battery(HazardEras::new, true);
-}
-
-#[test]
-fn ebr_battery_stats_balance() {
-    battery(Ebr::new, true);
-}
-
-#[test]
-fn leaky_battery_stats_balance() {
-    battery(Leaky::new, false);
+fn every_queue_cell_stats_balance() {
+    let cfg = Config::short();
+    for cell in MatrixFilter::full().queue_cells() {
+        let s = churn_queue_cell(&cell, cfg.threads, cfg.iters);
+        assert_quiescent(&cell.label(), &s, reclaims(cell.scheme));
+    }
 }
 
 /// `retires − reclaims == unreclaimed()` checked against the live gauge:
-/// the battery helpers consume their scheme handle, so this test keeps a
-/// clone and compares the snapshot to `unreclaimed()` directly.
+/// the cell runners consume their scheme handle, so this test builds each
+/// manual scheme directly and drives every registered set through it.
 #[test]
 fn outstanding_matches_live_gauge() {
-    fn one<S: Smr + Clone>(make: impl Fn() -> S) {
-        let smr = make();
-        {
-            let set = MichaelList::<u64, S>::new(smr.clone());
-            for k in 0..400u64 {
-                set.add(k % 64);
-                set.remove(&(k % 64));
+    for kind in SchemeKind::ALL {
+        for entry in structures::registry::SETS {
+            let smr = kind.build();
+            {
+                let set = (entry.make)(smr.clone());
+                for k in 0..400u64 {
+                    set.add(k % 64);
+                    set.remove(&(k % 64));
+                }
             }
-        }
-        // Mid-quiescence (before any drain): the contract must already
-        // hold — this is what catches an unpaired gauge update.
-        let s = smr.stats();
-        assert_eq!(
-            s.outstanding(),
-            smr.unreclaimed() as u64,
-            "{}: snapshot disagrees with live gauge",
-            smr.name()
-        );
-        for _ in 0..400 {
-            if smr.unreclaimed() == 0 {
-                break;
+            // Mid-quiescence (before any drain): the contract must
+            // already hold — this is what catches an unpaired gauge
+            // update.
+            let s = smr.stats();
+            assert_eq!(
+                s.outstanding(),
+                smr.unreclaimed() as u64,
+                "{kind}/{}: snapshot disagrees with live gauge",
+                entry.name
+            );
+            for _ in 0..400 {
+                if smr.unreclaimed() == 0 {
+                    break;
+                }
+                smr.flush();
             }
-            smr.flush();
+            let s = smr.stats();
+            assert_eq!(
+                s.outstanding(),
+                smr.unreclaimed() as u64,
+                "{kind}/{}",
+                entry.name
+            );
         }
-        let s = smr.stats();
-        assert_eq!(s.outstanding(), smr.unreclaimed() as u64, "{}", smr.name());
     }
-    one(HazardPointers::new);
-    one(PassTheBuck::new);
-    one(PassThePointer::new);
-    one(HazardEras::new);
-    one(Ebr::new);
-    one(Leaky::new);
 }
 
-/// OrcGC domain deltas across consecutive ledgered batteries: cumulative
-/// snapshots are monotone, each battery's delta balances (the ledger
-/// settles only once every node of the section is freed or unretired),
-/// and handovers appear (PTP-style transfers are how OrcGC reclaims
-/// under contention). One test, sequential: the domain is process-global
-/// and parallel orc tests would pollute each other's deltas.
+/// OrcGC domain deltas across consecutive ledgered cells: cumulative
+/// snapshots are monotone and each cell's delta balances (the ledger
+/// settles only once every node of the section is freed or unretired).
+/// One test, sequential: the domain is process-global and parallel orc
+/// churn would pollute the deltas.
 #[test]
 fn orc_domain_deltas_monotone_and_balanced() {
     let cfg = Config::short();
-    let base = orcgc::domain_stats();
-    let d1 = churn_orc_set_ledgered(
-        MichaelListOrc::<u64>::new,
-        "OrcGC/MichaelListOrc/stats",
-        cfg.threads,
-        cfg.iters,
-    );
-    let mid = orcgc::domain_stats();
-    assert!(
-        mid.is_monotone_since(&base),
-        "domain counters went backwards"
-    );
-    let d2 = churn_orc_queue_ledgered(
-        MsQueueOrc::<u64>::new,
-        "OrcGC/MSQueueOrc/stats",
-        cfg.threads,
-        cfg.iters,
-    );
-    let end = orcgc::domain_stats();
-    assert!(
-        end.is_monotone_since(&mid),
-        "domain counters went backwards"
-    );
-    for (label, d) in [("set", &d1), ("queue", &d2)] {
-        assert!(d.retires > 0, "OrcGC/{label}: churn recorded no retires");
-        assert_eq!(
-            d.retires, d.reclaims,
-            "OrcGC/{label}: ledger settled but the stats delta does not balance"
-        );
+    let filter = MatrixFilter::full();
+    let mut last = orcgc::domain_stats();
+    for cell in filter.set_cells() {
+        if cell.scheme != SchemeAxis::Orc {
+            continue;
+        }
+        churn_set_cell(&cell, cfg.threads, cfg.iters);
+        let now = orcgc::domain_stats();
         assert!(
-            d.peak_unreclaimed >= d.outstanding(),
-            "OrcGC/{label}: peak below outstanding"
+            now.is_monotone_since(&last),
+            "{}: domain counters went backwards",
+            cell.label()
         );
+        last = now;
+    }
+    for cell in filter.queue_cells() {
+        if cell.scheme != SchemeAxis::Orc {
+            continue;
+        }
+        churn_queue_cell(&cell, cfg.threads, cfg.iters);
+        let now = orcgc::domain_stats();
+        assert!(
+            now.is_monotone_since(&last),
+            "{}: domain counters went backwards",
+            cell.label()
+        );
+        last = now;
     }
 }

@@ -87,6 +87,24 @@ pub fn stalled_reader_bound<S: Smr + Clone>(
     }
 }
 
+/// Runs the adversary for one point of the registry scheme axis: manual
+/// kinds are built fresh via [`SchemeKind::build`]; the OrcGC point runs
+/// [`stalled_reader_bound_orc`]. Lets callers sweep every scheme
+/// (`for axis in SchemeAxis::ALL`) without naming concrete types.
+///
+/// [`SchemeKind::build`]: reclaim::SchemeKind::build
+pub fn stalled_reader_bound_axis(
+    axis: structures::registry::SchemeAxis,
+    readers: usize,
+    slots: usize,
+    writer_ops: u64,
+) -> BoundResult {
+    match axis.manual() {
+        Some(kind) => stalled_reader_bound(&kind.build(), readers, slots, writer_ops),
+        None => stalled_reader_bound_orc(readers, slots, writer_ops),
+    }
+}
+
 /// Runs the stalled-reader adversary against OrcGC: readers hold `OrcPtr`
 /// guards; the writer replaces links (automatic retirement).
 pub fn stalled_reader_bound_orc(readers: usize, slots: usize, writer_ops: u64) -> BoundResult {
@@ -142,13 +160,18 @@ pub fn stalled_reader_bound_orc(readers: usize, slots: usize, writer_ops: u64) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reclaim::{Ebr, HazardPointers, PassThePointer};
+    use reclaim::SchemeKind;
+    use structures::registry::SchemeAxis;
 
     #[test]
     fn ptp_backlog_is_linear_in_threads() {
-        let ptp = PassThePointer::new();
         let readers = 3;
-        let r = stalled_reader_bound(&ptp, readers, reclaim::MAX_HPS, 5_000);
+        let r = stalled_reader_bound_axis(
+            SchemeAxis::Manual(SchemeKind::Ptp),
+            readers,
+            reclaim::MAX_HPS,
+            5_000,
+        );
         let linear_bound = ((readers + 2) * (reclaim::MAX_HPS + 1)) as u64;
         assert!(
             r.max_unreclaimed <= linear_bound,
@@ -160,8 +183,7 @@ mod tests {
 
     #[test]
     fn ebr_backlog_grows_with_writer_ops() {
-        let ebr = Ebr::new();
-        let r = stalled_reader_bound(&ebr, 1, 4, 3_000);
+        let r = stalled_reader_bound_axis(SchemeAxis::Manual(SchemeKind::Ebr), 1, 4, 3_000);
         assert!(
             r.max_unreclaimed > 2_000,
             "a stalled pinned reader should block EBR reclamation (got {})",
@@ -171,8 +193,12 @@ mod tests {
 
     #[test]
     fn hp_backlog_stays_bounded_but_above_ptp() {
-        let hp = HazardPointers::new();
-        let r = stalled_reader_bound(&hp, 2, reclaim::MAX_HPS, 5_000);
+        let r = stalled_reader_bound_axis(
+            SchemeAxis::Manual(SchemeKind::Hp),
+            2,
+            reclaim::MAX_HPS,
+            5_000,
+        );
         // HP defers up to its scan threshold; far below the EBR blowup.
         assert!(
             r.max_unreclaimed < 4_000,
@@ -183,7 +209,7 @@ mod tests {
 
     #[test]
     fn orcgc_backlog_is_small() {
-        let r = stalled_reader_bound_orc(2, 16, 5_000);
+        let r = stalled_reader_bound_axis(SchemeAxis::Orc, 2, 16, 5_000);
         assert!(
             r.max_unreclaimed < 1_000,
             "OrcGC backlog {} exceeds the linear regime",

@@ -1,11 +1,13 @@
 //! orcstat: side-by-side reclamation telemetry for every scheme.
 //!
 //! Runs the same short Michael-list churn (the Figs. 3–4 write-heavy
-//! workload, scaled down) under each SMR scheme in the workspace plus
-//! OrcGC, then prints one row of orc-stats per scheme: how much was
-//! retired, how much came back, how each scheme gets its reclamation
-//! done (scan avalanches vs. one-object handover dribbles), and the
-//! peak backlog the paper's Table 1 bounds.
+//! workload, scaled down) under each SMR scheme in the workspace
+//! ([`SchemeKind::ALL`] — a scheme added to the enum gets a row for
+//! free) plus OrcGC, then prints one row of orc-stats per scheme: how
+//! much was retired, how much came back, how each scheme gets its
+//! reclamation done (scan avalanches vs. one-object handover dribbles),
+//! and the peak backlog the paper's Table 1 bounds. The table layout is
+//! [`StatsSnapshot::table_row`], shared with the torture driver.
 //!
 //! Respects the bench knobs (`ORC_BENCH_SECONDS`, `ORC_BENCH_THREADS` —
 //! first entry — and `ORC_BENCH_JSON` for a JSON-lines dump) and the
@@ -23,13 +25,13 @@ use workloads::throughput::{prefill_set, set_mix, Mix};
 
 const KEYS: u64 = 128;
 
-fn run_scheme<S: Smr>(cfg: &BenchConfig, threads: usize, smr: S) -> (Measurement, StatsSnapshot) {
-    let name = smr.name();
-    let set = Arc::new(MichaelList::<u64, S>::new(smr));
+fn run_scheme(cfg: &BenchConfig, threads: usize, kind: SchemeKind) -> (Measurement, StatsSnapshot) {
+    let smr = kind.build();
+    let set = Arc::new(MichaelList::<u64, AnySmr>::new(smr.clone()));
     prefill_set(&*set, KEYS);
     let m = set_mix(
         "orcstat",
-        name,
+        kind.name(),
         set.clone(),
         threads,
         KEYS,
@@ -38,8 +40,8 @@ fn run_scheme<S: Smr>(cfg: &BenchConfig, threads: usize, smr: S) -> (Measurement
     );
     // Quiesce before snapshotting so retires − reclaims matches the
     // scheme's live gauge (nodes still linked in the set stay retired-free).
-    set.smr().flush();
-    let s = set.smr().stats();
+    smr.flush();
+    let s = smr.stats();
     (m.with_stats(s), s)
 }
 
@@ -63,24 +65,6 @@ fn run_orc(cfg: &BenchConfig, threads: usize) -> (Measurement, StatsSnapshot) {
     (m.with_stats(s), s)
 }
 
-fn row(name: &str, mops: f64, s: &StatsSnapshot) {
-    println!(
-        "{:<6} {:>8.3} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6.1}",
-        name,
-        mops,
-        s.retires,
-        s.reclaims,
-        s.outstanding(),
-        s.peak_unreclaimed,
-        s.scans,
-        s.flushes,
-        s.protect_retries,
-        s.handovers,
-        s.batches(),
-        s.mean_batch(),
-    );
-}
-
 fn main() {
     let cfg = BenchConfig::from_env();
     let threads = cfg.threads.first().copied().unwrap_or(2);
@@ -88,43 +72,16 @@ fn main() {
         "orcstat: MichaelList 50i-50r, {KEYS} keys, {threads} threads, {:.2}s/scheme",
         cfg.seconds_per_point.as_secs_f64()
     );
-    println!(
-        "{:<6} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6}",
-        "scheme",
-        "Mops/s",
-        "retires",
-        "reclaims",
-        "outst",
-        "peak",
-        "scans",
-        "flushes",
-        "p-retry",
-        "handover",
-        "batches",
-        "mean",
-    );
+    println!("{}", StatsSnapshot::table_header("scheme"));
 
     let mut ms = Vec::new();
-    let (m, s) = run_scheme(&cfg, threads, HazardPointers::new());
-    row("HP", m.mops, &s);
-    ms.push(m);
-    let (m, s) = run_scheme(&cfg, threads, PassTheBuck::new());
-    row("PTB", m.mops, &s);
-    ms.push(m);
-    let (m, s) = run_scheme(&cfg, threads, PassThePointer::new());
-    row("PTP", m.mops, &s);
-    ms.push(m);
-    let (m, s) = run_scheme(&cfg, threads, HazardEras::new());
-    row("HE", m.mops, &s);
-    ms.push(m);
-    let (m, s) = run_scheme(&cfg, threads, Ebr::new());
-    row("EBR", m.mops, &s);
-    ms.push(m);
-    let (m, s) = run_scheme(&cfg, threads, Leaky::new());
-    row("None", m.mops, &s);
-    ms.push(m);
+    for kind in SchemeKind::ALL {
+        let (m, s) = run_scheme(&cfg, threads, kind);
+        println!("{}", s.table_row(kind.name(), Some(m.mops)));
+        ms.push(m);
+    }
     let (m, s) = run_orc(&cfg, threads);
-    row("OrcGC", m.mops, &s);
+    println!("{}", s.table_row("OrcGC", Some(m.mops)));
     ms.push(m);
 
     maybe_dump_json(&ms);

@@ -5,10 +5,13 @@
 //! EBR's grows without bound, HP/PTB plateau at their scan thresholds,
 //! and PTP/OrcGC stay linear in threads.
 //!
+//! Sweeps the registry scheme axis ([`SchemeAxis::ALL`]), so a scheme
+//! added to the enum shows up here without an edit.
+//!
 //! Run: `cargo run --release --example reclamation_lab`
 
 use orcgc_suite::prelude::*;
-use workloads::bound::{stalled_reader_bound, stalled_reader_bound_orc};
+use workloads::bound::stalled_reader_bound_axis;
 
 fn report(name: &str, max_unreclaimed: u64, ops: u64) {
     let bar = "#".repeat(((max_unreclaimed as f64 + 1.0).log2() * 3.0) as usize);
@@ -19,18 +22,15 @@ fn main() {
     let readers = 3;
     let ops = 30_000;
     println!("stalled-reader adversary: {readers} readers, {ops} retirements\n");
-    let r = stalled_reader_bound(&Ebr::new(), readers, reclaim::MAX_HPS, ops);
-    report("EBR", r.max_unreclaimed, r.writer_ops);
-    let r = stalled_reader_bound(&HazardPointers::new(), readers, reclaim::MAX_HPS, ops);
-    report("HP", r.max_unreclaimed, r.writer_ops);
-    let r = stalled_reader_bound(&PassTheBuck::new(), readers, reclaim::MAX_HPS, ops);
-    report("PTB", r.max_unreclaimed, r.writer_ops);
-    let r = stalled_reader_bound(&HazardEras::new(), readers, reclaim::MAX_HPS, ops);
-    report("HE", r.max_unreclaimed, r.writer_ops);
-    let r = stalled_reader_bound(&PassThePointer::new(), readers, reclaim::MAX_HPS, ops);
-    report("PTP", r.max_unreclaimed, r.writer_ops);
-    let r = stalled_reader_bound_orc(readers, reclaim::MAX_HPS, ops);
-    report("OrcGC", r.max_unreclaimed, r.writer_ops);
+    for axis in SchemeAxis::ALL {
+        // The leaky baseline has no bound story — nothing is ever
+        // reclaimed, so its "backlog" is just the op count.
+        if axis.manual().is_some_and(|kind| !kind.reclaims()) {
+            continue;
+        }
+        let r = stalled_reader_bound_axis(axis, readers, reclaim::MAX_HPS, ops);
+        report(axis.name(), r.max_unreclaimed, r.writer_ops);
+    }
     println!("\nEBR is blocked by one stalled reader (unbounded, Table 1: ∞).");
     println!("PTP/OrcGC never build retired lists: O(H*t), the paper's contribution.");
 }

@@ -24,8 +24,14 @@ pub use structures;
 pub use workloads;
 
 /// Convenience prelude: the types most programs need.
+///
+/// For sweeping schemes or structures, prefer the registry surface
+/// ([`SchemeKind`] / [`AnySmr`] / [`MatrixFilter`]) over naming concrete
+/// scheme types — code written against the registry picks up new schemes
+/// and structures automatically.
 pub mod prelude {
     pub use orcgc::{make_orc, OrcAtomic, OrcPtr};
-    pub use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
+    pub use reclaim::{AnySmr, SchemeKind, Smr};
+    pub use structures::registry::{MatrixFilter, SchemeAxis};
     pub use structures::{ConcurrentQueue, ConcurrentSet};
 }

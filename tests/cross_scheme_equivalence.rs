@@ -1,17 +1,21 @@
-//! Cross-crate integration: every (structure × scheme) combination must
-//! implement the same abstract set/queue, byte for byte.
+//! Cross-crate integration: every cell of the (structure × scheme)
+//! registry matrix must implement the same abstract set/queue, byte for
+//! byte. The cell list comes from [`MatrixFilter::full`], so a structure
+//! or scheme added to the registry joins the lockstep the moment it is
+//! registered — every manual scheme on every generic structure, plus all
+//! the OrcGC-annotated variants.
 
 use orcgc_suite::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use structures::list::{HarrisListOrc, HsListOrc, MichaelList, MichaelListOrc, TbkpListOrc};
-use structures::queue::{KpQueueOrc, LcrqOrc, MsQueue, MsQueueOrc, TurnQueueOrc};
-use structures::skiplist::{CrfSkipListOrc, HsSkipListOrc};
-use structures::tree::{NmTree, NmTreeOrc};
+use structures::list::MichaelListOrc;
+use structures::queue::MsQueueOrc;
+use structures::registry::{DynQueue, DynSet};
+use structures::tree::NmTreeOrc;
 
 /// Applies an identical randomized op sequence to every set and to a
 /// BTreeSet model; all answers must match at every step.
-fn lockstep(sets: Vec<Box<dyn ConcurrentSet<u64>>>, seed: u64, ops: usize) {
+fn lockstep(cells: Vec<(String, DynSet)>, seed: u64, ops: usize) {
     let mut model = BTreeSet::new();
     let mut rng = orc_util::rng::XorShift64::new(seed);
     for step in 0..ops {
@@ -22,68 +26,55 @@ fn lockstep(sets: Vec<Box<dyn ConcurrentSet<u64>>>, seed: u64, ops: usize) {
             1 => model.remove(&key),
             _ => model.contains(&key),
         };
-        for set in &sets {
+        for (label, set) in &cells {
             let got = match op {
                 0 => set.add(key),
                 1 => set.remove(&key),
                 _ => set.contains(&key),
             };
             assert_eq!(
-                got,
-                expected,
-                "{} diverged at step {step} (op {op}, key {key})",
-                set.name()
+                got, expected,
+                "{label} diverged at step {step} (op {op}, key {key})"
             );
         }
     }
 }
 
 #[test]
-fn all_eleven_set_variants_agree() {
-    let sets: Vec<Box<dyn ConcurrentSet<u64>>> = vec![
-        Box::new(MichaelList::new(HazardPointers::new())),
-        Box::new(MichaelList::new(PassTheBuck::new())),
-        Box::new(MichaelList::new(PassThePointer::new())),
-        Box::new(MichaelList::new(HazardEras::new())),
-        Box::new(MichaelList::new(Ebr::new())),
-        Box::new(MichaelList::new(Leaky::new())),
-        Box::new(MichaelListOrc::new()),
-        Box::new(HarrisListOrc::new()),
-        Box::new(HsListOrc::new()),
-        Box::new(TbkpListOrc::new()),
-        Box::new(NmTree::new(HazardPointers::new())),
-        Box::new(NmTree::new(PassThePointer::new())),
-        Box::new(NmTreeOrc::new()),
-        Box::new(HsSkipListOrc::new()),
-        Box::new(CrfSkipListOrc::new()),
-    ];
-    lockstep(sets, 0xFEED, 6_000);
+fn every_set_cell_agrees() {
+    let cells: Vec<(String, DynSet)> = MatrixFilter::full()
+        .set_cells()
+        .iter()
+        .map(|c| (c.label(), c.build()))
+        .collect();
+    assert!(
+        cells.len() > SchemeKind::ALL.len(),
+        "registry matrix suspiciously small"
+    );
+    lockstep(cells, 0xFEED, 6_000);
     orcgc::flush_thread();
 }
 
 #[test]
-fn all_queue_variants_agree() {
-    let queues: Vec<Box<dyn ConcurrentQueue<u64>>> = vec![
-        Box::new(MsQueue::new(HazardPointers::new())),
-        Box::new(MsQueue::new(PassThePointer::new())),
-        Box::new(MsQueueOrc::new()),
-        Box::new(LcrqOrc::new()),
-        Box::new(KpQueueOrc::new()),
-        Box::new(TurnQueueOrc::new()),
-    ];
+fn every_queue_cell_agrees() {
+    let queues: Vec<(String, DynQueue)> = MatrixFilter::full()
+        .queue_cells()
+        .iter()
+        .map(|c| (c.label(), c.build()))
+        .collect();
     let mut model = std::collections::VecDeque::new();
     let mut rng = orc_util::rng::XorShift64::new(0xCAFE);
     for _ in 0..5_000 {
         if rng.next_bounded(2) == 0 {
             let v = rng.next_bounded(1 << 40);
             model.push_back(v);
-            for q in &queues {
+            for (_, q) in &queues {
                 q.enqueue(v);
             }
         } else {
             let expected = model.pop_front();
-            for q in &queues {
-                assert_eq!(q.dequeue(), expected, "{} diverged", q.name());
+            for (label, q) in &queues {
+                assert_eq!(q.dequeue(), expected, "{label} diverged");
             }
         }
     }

@@ -11,7 +11,7 @@
 use orc_util::rng::XorShift64;
 use orcgc::word;
 use orcgc_suite::prelude::*;
-use structures::list::{HarrisListOrc, MichaelList, MichaelListOrc};
+use structures::list::{HarrisListOrc, MichaelListOrc};
 use structures::queue::{LcrqOrc, MsQueueOrc};
 use structures::skiplist::CrfSkipListOrc;
 use structures::tree::NmTreeOrc;
@@ -191,20 +191,17 @@ fn crf_skip_matches_model() {
 }
 
 #[test]
-fn michael_list_hp_matches_model() {
+fn every_manual_set_cell_matches_model() {
     let mut rng = XorShift64::new(0x0ACB);
-    for _ in 0..CASES {
-        let ops = set_ops(&mut rng, 64);
-        check_set(&MichaelList::new(HazardPointers::new()), &ops);
-    }
-}
-
-#[test]
-fn michael_list_ptp_matches_model() {
-    let mut rng = XorShift64::new(0x0ACC);
-    for _ in 0..CASES {
-        let ops = set_ops(&mut rng, 64);
-        check_set(&MichaelList::new(PassThePointer::new()), &ops);
+    // Fewer cases per cell than the single-structure tests above: the
+    // registry sweep multiplies by (schemes × structures).
+    for kind in SchemeKind::ALL {
+        for entry in structures::registry::SETS {
+            for _ in 0..CASES / 4 {
+                let ops = set_ops(&mut rng, 64);
+                check_set(&(entry.make)(kind.build()), &ops);
+            }
+        }
     }
 }
 

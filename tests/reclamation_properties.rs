@@ -180,22 +180,24 @@ fn linear_bound_survives_structure_level_stress() {
 
 #[test]
 fn manual_schemes_reclaim_exactly_when_quiescent() {
-    fn churn<S: Smr>(smr: S) {
-        let list = structures::list::MichaelList::new(smr);
-        for round in 0..3 {
-            for k in 0..200u64 {
-                assert!(list.add(k + round * 1000));
-            }
-            for k in 0..200u64 {
-                assert!(list.remove(&(k + round * 1000)));
-            }
+    for kind in SchemeKind::ALL {
+        if !kind.reclaims() {
+            continue;
         }
-        list.smr().flush();
-        assert_eq!(list.smr().unreclaimed(), 0, "{}", list.smr().name());
+        for entry in structures::registry::SETS {
+            let smr = kind.build();
+            let set = (entry.make)(smr.clone());
+            for round in 0..3 {
+                for k in 0..200u64 {
+                    assert!(set.add(k + round * 1000));
+                }
+                for k in 0..200u64 {
+                    assert!(set.remove(&(k + round * 1000)));
+                }
+            }
+            drop(set);
+            smr.flush();
+            assert_eq!(smr.unreclaimed(), 0, "{kind}/{}", entry.name);
+        }
     }
-    churn(HazardPointers::new());
-    churn(PassTheBuck::new());
-    churn(PassThePointer::new());
-    churn(HazardEras::new());
-    churn(Ebr::new());
 }
