@@ -15,9 +15,9 @@
 use crate::domain::{cur_tid, domain};
 use crate::header::{Linked, OrcHeader};
 use crate::ptr::{poison_word, protectable, OrcPtr};
+use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::marked;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// An annotated atomic link to a tracked object (`orc_atomic<T*>`).
 pub struct OrcAtomic<T> {
@@ -25,7 +25,11 @@ pub struct OrcAtomic<T> {
     _pd: PhantomData<*mut Linked<T>>,
 }
 
+// SAFETY: only the raw `PhantomData<*mut Linked<T>>` blocks the auto
+// impls; the link itself is a single atomic word, and every dereference of
+// it goes through the domain's protection protocol with `T: Send + Sync`.
 unsafe impl<T: Send + Sync> Send for OrcAtomic<T> {}
+// SAFETY: as for `Send`.
 unsafe impl<T: Send + Sync> Sync for OrcAtomic<T> {}
 
 impl<T: Send + Sync> OrcAtomic<T> {
@@ -90,6 +94,8 @@ impl<T: Send + Sync> OrcAtomic<T> {
         if t == 0 {
             None
         } else {
+            // SAFETY: the caller guarantees quiescence (this function's
+            // contract), so the linked object cannot be retired under us.
             Some(unsafe { OrcHeader::value::<T>(t as *mut OrcHeader) })
         }
     }
@@ -253,7 +259,7 @@ impl<T> std::fmt::Debug for OrcAtomic<T> {
 mod tests {
     use super::*;
     use crate::make_orc;
-    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use orc_util::atomics::AtomicUsize as StdAtomicUsize;
     use std::sync::Arc;
 
     struct Probe(Arc<StdAtomicUsize>);

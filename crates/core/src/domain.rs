@@ -22,10 +22,10 @@
 
 use crate::header::OrcHeader;
 use crate::word::{is_zero_retired, is_zero_unclaimed, BRETIRED, SEQ};
+use orc_util::atomics::{AtomicU64, AtomicUsize, Ordering};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
-use orc_util::{registry, track, CachePadded};
+use orc_util::{chk_hooks, registry, track, CachePadded};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Hazard slots per thread (the paper's `maxHPs` capacity; the live
 /// watermark is tracked dynamically in [`Domain::max_hps`]). Deep skip-list
@@ -48,10 +48,12 @@ pub(crate) struct TlInfo {
     recursive_list: UnsafeCell<Vec<*mut OrcHeader>>,
 }
 
-// Owner-discipline: `used_haz`, `retire_started` and `recursive_list` are
-// only touched by the owning tid (enforced by the `tid` parameters below);
-// `hp`/`handovers` are atomics.
+// SAFETY: owner-discipline — `used_haz`, `retire_started` and
+// `recursive_list` are only touched by the owning tid (enforced by the
+// `tid` parameters below); `hp`/`handovers` are atomics.
 unsafe impl Sync for TlInfo {}
+// SAFETY: see the `Sync` impl above; the raw pointers inside
+// `recursive_list` are domain-owned headers, not thread-affine state.
 unsafe impl Send for TlInfo {}
 
 impl TlInfo {
@@ -78,7 +80,10 @@ pub struct Domain {
     stats: SchemeStats,
 }
 
+// SAFETY: `Domain` is a table of `TlInfo` rows (thread-safe per the impl
+// above) plus atomics; the auto-impl is only blocked by `TlInfo`'s cells.
 unsafe impl Sync for Domain {}
+// SAFETY: as for `Sync` — no thread-affine state.
 unsafe impl Send for Domain {}
 
 impl Domain {
@@ -102,7 +107,8 @@ impl Domain {
     // ---- accounting ---------------------------------------------------
 
     #[inline]
-    pub(crate) fn note_retired(&self, tid: usize) {
+    pub(crate) fn note_retired(&self, tid: usize, h: *mut OrcHeader) {
+        chk_hooks::on_retire(h as usize);
         let now = self.retired_now.fetch_add(1, Ordering::Relaxed) + 1;
         self.retired_max.fetch_max(now, Ordering::Relaxed);
         self.stats.bump(tid, Event::Retire);
@@ -114,7 +120,8 @@ impl Domain {
     /// counter nonzero). Counted as a reclaim so that at quiescence
     /// `retires - reclaims == unreclaimed()` holds exactly.
     #[inline]
-    fn note_unretired(&self, tid: usize) {
+    fn note_unretired(&self, tid: usize, h: *mut OrcHeader) {
+        chk_hooks::on_unretire(h as usize);
         self.retired_now.fetch_sub(1, Ordering::Relaxed);
         self.stats.bump(tid, Event::Reclaim);
         track::global().on_reclaim();
@@ -152,6 +159,8 @@ impl Domain {
 
     /// `getNewIdx`: claims the lowest unused slot index ≥ 1.
     pub(crate) fn get_new_idx(&self, tid: usize) -> u16 {
+        // SAFETY: `used_haz` is owner-thread-only and `tid` is the caller's
+        // own row, so no other reference to this array exists.
         let used = unsafe { &mut *self.tl(tid).used_haz.get() };
         for (idx, u) in used.iter_mut().enumerate().skip(1) {
             if *u == 0 {
@@ -181,12 +190,14 @@ impl Domain {
     #[inline]
     pub(crate) fn using_idx(&self, tid: usize, idx: u16) {
         debug_assert_ne!(idx, 0);
+        // SAFETY: `used_haz` is owner-thread-only; `tid` is the caller's row.
         let used = unsafe { &mut *self.tl(tid).used_haz.get() };
         used[idx as usize] += 1;
     }
 
     #[cfg(test)]
     pub(crate) fn used_count(&self, tid: usize, idx: u16) -> u32 {
+        // SAFETY: `used_haz` is owner-thread-only; tests pass their own tid.
         unsafe { (*self.tl(tid).used_haz.get())[idx as usize] }
     }
 
@@ -228,6 +239,7 @@ impl Domain {
     /// anything parked in the slot's handover entry.
     pub(crate) fn clear(&self, tid: usize, idx: u16, word: usize) {
         debug_assert_ne!(idx, 0);
+        // SAFETY: `used_haz` is owner-thread-only; `tid` is the caller's row.
         let used = unsafe { &mut *self.tl(tid).used_haz.get() };
         let u = &mut used[idx as usize];
         debug_assert!(*u > 0);
@@ -238,16 +250,18 @@ impl Domain {
         let target = crate::ptr::protectable(word);
         if target != 0 {
             let h = target as *mut OrcHeader;
-            // Still protected by our slot: safe to read the orc word.
+            // SAFETY: `word` is still published in our hazard slot, so the
+            // object cannot have been deleted (Proposition 1).
             let lorc = unsafe { (*h).orc.load(Ordering::SeqCst) };
             if is_zero_unclaimed(lorc)
+                // SAFETY: as above — our slot still pins `h`.
                 && unsafe {
                     (*h).orc
                         .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
                 }
             {
-                self.note_retired(tid);
+                self.note_retired(tid, h);
                 // Drop our protection before retiring so the scan does not
                 // park the object straight back onto this slot.
                 self.tl(tid).hp[idx as usize].store(0, Ordering::Release);
@@ -277,18 +291,21 @@ impl Domain {
         if h.is_null() {
             return;
         }
+        // SAFETY: the caller holds an OrcPtr protection on `h` (documented
+        // contract), so the header is alive for the whole call.
         let lorc = unsafe { (*h).orc.fetch_add(SEQ + 1, Ordering::SeqCst) }.wrapping_add(SEQ + 1);
         if !is_zero_unclaimed(lorc) {
             return;
         }
         // Incremented from -1 back to zero: the link we just counted has
         // already been removed. Try to claim the retire.
+        // SAFETY: still under the caller's protection, as above.
         if unsafe {
             (*h).orc
                 .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
         } {
-            self.note_retired(tid);
+            self.note_retired(tid, h);
             self.retire(tid, h);
         }
     }
@@ -301,15 +318,19 @@ impl Domain {
         }
         let scratch = &self.tl(tid).hp[0];
         scratch.swap(h as usize, Ordering::SeqCst);
+        // SAFETY: `h` was just published in scratch slot 0 and the caller
+        // held a counted (or protected) link, so no deleter can free it
+        // before our swap is visible (Proposition 1).
         let lorc = unsafe { (*h).orc.fetch_add(SEQ - 1, Ordering::SeqCst) }.wrapping_add(SEQ - 1);
         if is_zero_unclaimed(lorc)
+            // SAFETY: still pinned by scratch slot 0.
             && unsafe {
                 (*h).orc
                     .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
             }
         {
-            self.note_retired(tid);
+            self.note_retired(tid, h);
             scratch.store(0, Ordering::Release);
             self.retire(tid, h);
         } else {
@@ -329,8 +350,13 @@ impl Domain {
     /// fields; recursion is flattened through `recursive_list`.
     pub(crate) fn retire(&self, tid: usize, first: *mut OrcHeader) {
         let tl = self.tl(tid);
+        // SAFETY: `retire_started` is owner-thread-only; `tid` is ours.
         let started = unsafe { &mut *tl.retire_started.get() };
         if *started {
+            // SAFETY: `recursive_list` is owner-thread-only. We are inside
+            // the outer `retire` of this same thread (started == true), and
+            // that frame only touches the list between objects, never
+            // across this nested call.
             unsafe { (*tl.recursive_list.get()).push(first) };
             return;
         }
@@ -341,6 +367,8 @@ impl Domain {
         let mut i = 0usize;
         loop {
             'obj: while !h.is_null() {
+                // SAFETY: we hold `h`'s BRETIRED claim (ours or inherited
+                // through a handover), which keeps the header alive.
                 let mut lorc = unsafe { (*h).orc.load(Ordering::SeqCst) };
                 if !is_zero_retired(lorc) {
                     // The counter moved after the claim: relinquish and
@@ -354,11 +382,15 @@ impl Domain {
                     if self.try_handover(tid, &mut h) {
                         continue 'obj;
                     }
+                    // SAFETY: BRETIRED claim held, as above.
                     let lorc2 = unsafe { (*h).orc.load(Ordering::SeqCst) };
                     if lorc2 == lorc {
                         // Lemma 1 established: delete. The value's own
                         // OrcAtomic fields drop here, feeding
                         // recursive_list through nested retire calls.
+                        // SAFETY: counter at zero, claim held, and the
+                        // hazard scan found no protector — `h` is ours to
+                        // free, exactly once.
                         unsafe { OrcHeader::destroy(h) };
                         self.note_destroyed(tid);
                         destroyed += 1;
@@ -374,6 +406,8 @@ impl Domain {
                     }
                 }
             }
+            // SAFETY: owner-thread-only list; nested `retire` calls (which
+            // also borrow it) cannot be live here — we are between objects.
             let list = unsafe { &mut *tl.recursive_list.get() };
             if list.len() == i {
                 break;
@@ -381,6 +415,7 @@ impl Domain {
             h = list[i];
             i += 1;
         }
+        // SAFETY: as above — the drain loop is done, no other borrow exists.
         unsafe { (*tl.recursive_list.get()).clear() };
         *started = false;
         // One retire pass = one reclamation batch (the recursive cascade
@@ -415,8 +450,11 @@ impl Domain {
     fn clear_bit_retired(&self, tid: usize, h: *mut OrcHeader) -> u64 {
         let scratch = &self.tl(tid).hp[0];
         scratch.swap(h as usize, Ordering::SeqCst);
+        // SAFETY: we hold `h`'s BRETIRED claim *and* just published it in
+        // scratch slot 0, so the header is alive.
         let lorc = unsafe { (*h).orc.fetch_sub(BRETIRED, Ordering::SeqCst) } - BRETIRED;
         let out = if is_zero_unclaimed(lorc)
+            // SAFETY: still pinned by scratch slot 0.
             && unsafe {
                 (*h).orc
                     .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
@@ -424,7 +462,7 @@ impl Domain {
             } {
             lorc + BRETIRED
         } else {
-            self.note_unretired(tid);
+            self.note_unretired(tid, h);
             0
         };
         scratch.store(0, Ordering::Release);
@@ -441,6 +479,8 @@ impl Domain {
         let lmax = self.max_hps.load(Ordering::Acquire);
         for idx in 0..lmax {
             // Only release slots not currently claimed by live OrcPtrs.
+            // SAFETY: `used_haz` is owner-thread-only; this runs on `tid`'s
+            // own thread (flush_thread or its exit hook).
             let in_use = unsafe { (*self.tl(tid).used_haz.get())[idx] } != 0;
             if !in_use {
                 self.tl(tid).hp[idx].store(0, Ordering::Release);

@@ -12,15 +12,18 @@
 //! [`make_orc`]: crate::make_orc
 
 use crate::word::ORC_INIT;
-use std::sync::atomic::AtomicU64;
+use orc_util::atomics::{AtomicU64, Ordering};
+use orc_util::chk_hooks::{self, ReclaimAction};
 
 /// Per-object metadata; the paper's `orc_base`.
 #[repr(C)]
 pub struct OrcHeader {
     /// The `_orc` word: biased hard-link counter + BRETIRED + sequence.
     pub(crate) orc: AtomicU64,
-    /// Type-erased destructor: drops the whole `Linked<T>` box.
-    pub(crate) drop_fn: unsafe fn(*mut OrcHeader),
+    /// Type-erased destructor: drops the whole `Linked<T>` box — or, under
+    /// the orc-check quarantine, drops the value in place and leaks the
+    /// allocation so the address stays poisoned.
+    pub(crate) drop_fn: unsafe fn(*mut OrcHeader, ReclaimAction),
     /// Allocation size in bytes.
     pub(crate) bytes: u32,
 }
@@ -32,8 +35,23 @@ pub struct Linked<T> {
     pub(crate) value: T,
 }
 
-unsafe fn drop_linked<T>(h: *mut OrcHeader) {
-    drop(unsafe { Box::from_raw(h as *mut Linked<T>) });
+unsafe fn drop_linked<T>(h: *mut OrcHeader, action: ReclaimAction) {
+    match action {
+        // SAFETY: `h` came out of `OrcHeader::alloc::<T>`'s `Box::into_raw`
+        // (the caller's contract via `drop_fn`), is live, and this is the
+        // single reclamation of it.
+        ReclaimAction::Free => drop(unsafe { Box::from_raw(h as *mut Linked<T>) }),
+        // Quarantine (orc-check model runs): the destructor still runs — so
+        // the recursive decrement cascade through OrcAtomic fields happens —
+        // but the memory is leaked to keep a flagged use-after-reclaim
+        // physically safe.
+        // SAFETY: same provenance as the `Free` arm; dropping in place is
+        // the single destructor run, and the allocation is intentionally
+        // never freed.
+        ReclaimAction::Quarantine => unsafe {
+            std::ptr::drop_in_place(h as *mut Linked<T>);
+        },
+    }
 }
 
 impl OrcHeader {
@@ -48,7 +66,9 @@ impl OrcHeader {
             },
             value,
         });
-        Box::into_raw(boxed) as *mut OrcHeader
+        let raw = Box::into_raw(boxed) as *mut OrcHeader;
+        chk_hooks::on_alloc(raw as usize, std::mem::size_of::<Linked<T>>());
+        raw
     }
 
     /// Runs the destructor and frees the block.
@@ -56,9 +76,14 @@ impl OrcHeader {
     /// # Safety
     /// `h` must be live and unreachable (Lemma 1 established).
     pub(crate) unsafe fn destroy(h: *mut OrcHeader) {
+        // SAFETY: `h` is live per this function's contract.
         let bytes = unsafe { (*h).bytes } as usize;
+        // SAFETY: as above.
         let f = unsafe { (*h).drop_fn };
-        unsafe { f(h) };
+        let action = chk_hooks::on_reclaim(h as usize);
+        // SAFETY: `drop_fn` was installed by `alloc` for `h`'s own `T`;
+        // unreachability (the contract) makes this the one reclamation.
+        unsafe { f(h, action) };
         orc_util::track::global().on_free(bytes);
     }
 
@@ -68,12 +93,14 @@ impl OrcHeader {
     /// `h` must be a live `Linked<T>` for this exact `T`.
     #[inline(always)]
     pub(crate) unsafe fn value<'a, T>(h: *mut OrcHeader) -> &'a T {
+        // SAFETY: `h` is a live `Linked<T>` per this function's contract,
+        // and `repr(C)` makes the header pointer the block pointer.
         unsafe { &(*(h as *mut Linked<T>)).value }
     }
 
     /// Raw access to the `_orc` word (tests / diagnostics).
     pub fn orc_word(&self) -> u64 {
-        self.orc.load(std::sync::atomic::Ordering::SeqCst)
+        self.orc.load(Ordering::SeqCst)
     }
 }
 
@@ -81,12 +108,14 @@ impl OrcHeader {
 mod tests {
     use super::*;
     use crate::word;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use orc_util::atomics::AtomicUsize;
     use std::sync::Arc;
 
     #[test]
     fn alloc_initializes_orc() {
         let h = OrcHeader::alloc(42u64);
+        // SAFETY: freshly allocated as `Linked<u64>`, unshared, destroyed
+        // exactly once.
         unsafe {
             assert!(word::is_zero_unclaimed((*h).orc.load(Ordering::SeqCst)));
             assert_eq!(*OrcHeader::value::<u64>(h), 42);
@@ -105,6 +134,7 @@ mod tests {
         let n = Arc::new(AtomicUsize::new(0));
         let h = OrcHeader::alloc(Probe(n.clone()));
         assert_eq!(n.load(Ordering::SeqCst), 0);
+        // SAFETY: freshly allocated, unshared, destroyed exactly once.
         unsafe { OrcHeader::destroy(h) };
         assert_eq!(n.load(Ordering::SeqCst), 1);
     }

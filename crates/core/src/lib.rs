@@ -110,6 +110,8 @@ pub fn make_orc<T: Send + Sync>(value: T) -> OrcPtr<T> {
     let tid = cur_tid();
     let d = domain();
     let h = header::OrcHeader::alloc(value);
+    // SAFETY: `h` was just allocated and is exclusively ours until
+    // published below.
     orc_util::track::global().on_alloc(unsafe { (*h).bytes as usize });
     let idx = d.get_new_idx(tid);
     d.publish(tid, idx, h as usize);
@@ -140,7 +142,7 @@ pub fn domain_stats() -> orc_util::stats::StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use orc_util::atomics::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     struct Probe(Arc<AtomicUsize>);

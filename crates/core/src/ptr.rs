@@ -149,6 +149,9 @@ impl<T> OrcPtr<T> {
         if h.is_null() {
             None
         } else {
+            // SAFETY: a non-null `OrcPtr` occupies a hazard slot (or was
+            // created from a counted link), pinning the object alive for
+            // the guard's — and thus the reference's — lifetime.
             Some(unsafe { OrcHeader::value::<T>(h) })
         }
     }
@@ -159,6 +162,7 @@ impl<T> OrcPtr<T> {
         if h.is_null() {
             None
         } else {
+            // SAFETY: pinned by this guard, as in `as_ref`.
             Some(unsafe { (*h).orc_word() })
         }
     }
@@ -274,7 +278,7 @@ mod tests {
 
     #[test]
     fn unlinked_object_is_destroyed_when_last_guard_drops() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use orc_util::atomics::{AtomicUsize, Ordering};
         use std::sync::Arc;
         struct Probe(Arc<AtomicUsize>);
         impl Drop for Probe {

@@ -21,7 +21,11 @@ pub struct AtomicU128 {
     cell: UnsafeCell<u128>,
 }
 
+// SAFETY: the cell is only ever accessed through `cas128`/the spinlock
+// fallback, both of which are atomic read-modify-writes; no mixed-size or
+// non-atomic access exists, so sharing across threads is sound.
 unsafe impl Send for AtomicU128 {}
+// SAFETY: see the `Send` impl above — every access is a full-word atomic.
 unsafe impl Sync for AtomicU128 {}
 
 impl AtomicU128 {
@@ -35,14 +39,22 @@ impl AtomicU128 {
     /// `new`. Returns `(previous_value, success)`.
     #[inline]
     pub fn compare_exchange(&self, old: u128, new: u128) -> (u128, bool) {
+        #[cfg(feature = "orc_check")]
+        crate::chk::shim_access(self.cell.get() as usize, crate::chk::Acc::Rmw, "dwcas");
+        // SAFETY: `self.cell` is a live, 16-byte-aligned allocation owned by
+        // this `AtomicU128` (guaranteed by `repr(align(16))`).
         unsafe { cas128(self.cell.get(), old, new) }
     }
 
     /// Atomic sequentially consistent load.
     #[inline]
     pub fn load(&self) -> u128 {
+        #[cfg(feature = "orc_check")]
+        crate::chk::shim_access(self.cell.get() as usize, crate::chk::Acc::Load, "dwload");
         // cmpxchg16b with old == new == 0: if the slot is 0 it rewrites 0
         // (harmless); otherwise it fails and returns the current value.
+        // SAFETY: `self.cell` is a live, 16-byte-aligned allocation owned by
+        // this `AtomicU128`, and the slot is always writable (module docs).
         unsafe { cas128(self.cell.get(), 0, 0).0 }
     }
 

@@ -22,7 +22,20 @@
 //! * [`stats`] — orc-stats: per-thread sharded reclamation telemetry
 //!   (retires, reclaims, scans, protect retries, handovers, batch-size
 //!   histograms) behind an `ORC_STATS=0` kill-switch.
+//! * [`atomics`] — the workspace atomics facade: plain `std::sync::atomic`
+//!   re-exports by default, instrumented orc-check shims under the
+//!   `orc_check` feature. All scheme/structure code imports atomics from
+//!   here (CI-enforced for crates/{core,reclaim}).
+//! * [`chk`] (feature `orc_check`) — the orc-check bounded model checker:
+//!   cooperative scheduler, DFS interleaving explorer with preemption
+//!   bounding + sleep sets, and the shadow-heap reclamation oracles.
+//! * [`chk_hooks`] — always-present hook layer the reclamation crates call
+//!   on alloc/retire/reclaim; no-ops unless an exploration is running.
 
+pub mod atomics;
+#[cfg(feature = "orc_check")]
+pub mod chk;
+pub mod chk_hooks;
 pub mod dwcas;
 pub mod marked;
 pub mod registry;

@@ -108,6 +108,7 @@ mod tests {
         let w = mark(to_word(b));
         let back: *mut u64 = to_ptr(w);
         assert_eq!(back, b);
+        // SAFETY: `b` came from `Box::into_raw` above; freed exactly once.
         unsafe { drop(Box::from_raw(b)) };
     }
 

@@ -13,8 +13,8 @@
 //! exclusively. A new thread that later reuses the same tid therefore always
 //! observes clean per-thread state.
 
+use crate::atomics::{AtomicBool, AtomicUsize, Ordering};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Maximum number of concurrently *registered* threads.
 ///
@@ -106,6 +106,19 @@ pub fn defer_at_exit(f: impl FnOnce() + 'static) {
     });
 }
 
+/// Releases the calling thread's tid *now*, running its [`defer_at_exit`]
+/// callbacks, instead of waiting for thread exit. A later [`tid`] call on
+/// the same thread re-registers.
+///
+/// The orc-check model checker calls this at the end of every model
+/// thread's body so scheme exit-cleanups (handover drains, retired-list
+/// flushes) execute inside the checked, scheduled region rather than in an
+/// unscheduled TLS destructor.
+pub fn retire_thread() {
+    let guard = GUARD.try_with(|g| g.borrow_mut().take()).ok().flatten();
+    drop(guard);
+}
+
 /// Fixed registry capacity (the paper's `maxThreads`).
 #[inline]
 pub const fn max_threads() -> usize {
@@ -162,6 +175,28 @@ mod tests {
         .join()
         .unwrap();
         assert_eq!(ran.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn retire_thread_releases_early_and_runs_cleanups() {
+        std::thread::spawn(|| {
+            let ran = Arc::new(AtomicUsize::new(0));
+            let r = ran.clone();
+            let first = tid();
+            defer_at_exit(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            });
+            retire_thread();
+            assert_eq!(ran.load(Ordering::SeqCst), 1, "cleanup must run at retire");
+            // Re-registration hands out a (possibly identical) fresh tid.
+            let second = tid();
+            assert!(second < MAX_THREADS);
+            let _ = first;
+            retire_thread();
+            retire_thread(); // idempotent
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

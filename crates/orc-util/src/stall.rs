@@ -19,8 +19,9 @@
 //! thread is armed anywhere in the process, `hit` is a compare-and-branch.
 //! Production binaries that never call [`arm`] pay nothing else.
 
+use crate::atomics::{AtomicUsize, Ordering};
+use crate::chk_hooks;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -42,10 +43,22 @@ static ARMED: AtomicUsize = AtomicUsize::new(0);
 ///
 /// States: armed → parked (victim reached the injection point and blocked)
 /// → released (driver let it continue).
+///
+/// Under an orc-check exploration the gate switches to `model_word`: the
+/// victim parks through the checker's scheduler (`chk_hooks::block_hint`),
+/// so a parked model thread counts as "scheduled elsewhere" rather than
+/// spinning the DFS into its step budget, and the release store is itself a
+/// checked step that wakes it.
 pub struct Gate {
     state: Mutex<GateState>,
     cv: Condvar,
+    /// Model-run mirror of `state`: `M_ARMED`/`M_PARKED`/`M_RELEASED`.
+    model_word: AtomicUsize,
 }
+
+const M_ARMED: usize = 0;
+const M_PARKED: usize = 1;
+const M_RELEASED: usize = 2;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum GateState {
@@ -60,11 +73,27 @@ impl Gate {
         Arc::new(Self {
             state: Mutex::new(GateState::Armed),
             cv: Condvar::new(),
+            model_word: AtomicUsize::new(M_ARMED),
         })
+    }
+
+    #[inline]
+    fn model_addr(&self) -> usize {
+        self.model_word.as_ptr() as usize
     }
 
     /// Blocks the calling (victim) thread until [`Gate::release`].
     fn park(&self) {
+        if chk_hooks::in_model() {
+            self.model_word.store(M_PARKED, Ordering::SeqCst);
+            while self.model_word.load(Ordering::SeqCst) != M_RELEASED {
+                if chk_hooks::aborting() {
+                    return;
+                }
+                chk_hooks::block_hint(self.model_addr());
+            }
+            return;
+        }
         let mut st = self.state.lock().unwrap();
         *st = GateState::Parked;
         self.cv.notify_all();
@@ -75,7 +104,23 @@ impl Gate {
 
     /// Waits until the victim has parked (or the timeout elapses).
     /// Returns `true` if the victim is parked.
+    ///
+    /// Under a model run the timeout is ignored (runs are deterministic:
+    /// either the victim parks, or the checker reports the deadlock).
     pub fn wait_until_parked(&self, timeout: Duration) -> bool {
+        if chk_hooks::in_model() {
+            loop {
+                match self.model_word.load(Ordering::SeqCst) {
+                    M_ARMED => {
+                        if chk_hooks::aborting() {
+                            return false;
+                        }
+                        chk_hooks::block_hint(self.model_addr());
+                    }
+                    w => return w == M_PARKED,
+                }
+            }
+        }
         let st = self.state.lock().unwrap();
         let (st, res) = self
             .cv
@@ -88,6 +133,10 @@ impl Gate {
     /// never reached the injection point (disarm with [`disarm`] first to
     /// avoid a stale thread-local arming a later operation).
     pub fn release(&self) {
+        // The facade store doubles as the model-run wakeup (it is a checked
+        // write to the address the victim is blocked on); outside a model
+        // run it is a plain relaxed-cost store nobody reads.
+        self.model_word.store(M_RELEASED, Ordering::SeqCst);
         let mut st = self.state.lock().unwrap();
         *st = GateState::Released;
         self.cv.notify_all();

@@ -39,9 +39,9 @@
 //! `reclaims ≤ retires` holds at all times. The torture harness asserts
 //! both across the whole battery.
 
+use crate::atomics::{AtomicU64, AtomicU8, Ordering};
 use crate::registry;
 use crate::CachePadded;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Number of power-of-two buckets in the batch-size histogram; bucket `i`
 /// counts batches of size `[2^i, 2^(i+1))`, with the last bucket open.

@@ -80,7 +80,7 @@ impl Backoff {
     pub fn spin(&self) {
         let step = self.step.get();
         for _ in 0..1u32 << step.min(SPIN_LIMIT) {
-            std::hint::spin_loop();
+            crate::atomics::spin_hint();
         }
         if step <= SPIN_LIMIT {
             self.step.set(step + 1);
@@ -94,7 +94,7 @@ impl Backoff {
         let step = self.step.get();
         if step <= SPIN_LIMIT {
             for _ in 0..1u32 << step {
-                std::hint::spin_loop();
+                crate::atomics::spin_hint();
             }
         } else {
             std::thread::yield_now();

@@ -10,6 +10,11 @@
 //! Counters are relaxed atomics — they are statistics, not synchronization —
 //! and their cost is noise next to the allocator call they accompany.
 
+// Deliberately NOT the `crate::atomics` facade: these counters are global
+// statistics, not synchronization, and every scheme touches them on every
+// alloc/retire. Routing them through the orc-check shims would make each
+// bump a scheduling point on a globally-shared address, exploding the model
+// checker's branch space with interleavings no protocol property depends on.
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A set of allocation counters. The process-wide instance is [`global`];

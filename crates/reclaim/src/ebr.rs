@@ -12,9 +12,9 @@
 use crate::hazard::{ExitHooks, OrphanStack, PerThread};
 use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
 use crate::Smr;
+use orc_util::atomics::{AtomicU64, AtomicUsize, Ordering};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track, CachePadded};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Retires between advance attempts.
@@ -27,6 +27,9 @@ struct ThreadState {
     retires: usize,
 }
 
+// SAFETY: the raw header pointers in the limbo bins are retired objects
+// whose ownership was transferred to this state by `retire`; no other
+// thread dereferences them until `collect`/`Drop` destroys them here.
 unsafe impl Send for ThreadState {}
 
 struct Inner {
@@ -124,6 +127,8 @@ impl Inner {
     /// Frees the limbo bin that is two epochs stale.
     fn collect(&self, tid: usize, epoch: u64) {
         self.stats.bump(tid, Event::Scan);
+        // SAFETY: `tid` is the calling thread's registry slot; only the
+        // owner (or its exit hook / `Inner::drop`) touches this state.
         let st = unsafe { self.threads.get_mut(tid) };
         // Adopt orphans into the *current* bin: we don't know their retire
         // epoch, so conservatively treat them as retired now (they wait the
@@ -136,6 +141,9 @@ impl Inner {
         // have since passed through at least one quiescent transition.
         let n = stale.len();
         for h in stale.drain(..) {
+            // SAFETY: `h` was retired at least two epoch advances ago, so
+            // every thread pinned at retire time has since unpinned — no
+            // live reference can remain (Fraser's grace-period argument).
             unsafe { destroy_tracked(h) };
             track::global().on_reclaim();
         }
@@ -146,9 +154,13 @@ impl Inner {
 
     fn thread_exit(&self, tid: usize) {
         self.local[tid].store(0, Ordering::SeqCst);
+        // SAFETY: called by the exiting owner thread (exit hook), the only
+        // remaining user of slot `tid`.
         let st = unsafe { self.threads.get_mut(tid) };
         for bin in &mut st.limbo {
             for h in bin.drain(..) {
+                // SAFETY: `h` is a retired header drained from our own bin;
+                // pushing transfers its ownership to the orphan stack.
                 unsafe { self.orphans.push(h) };
             }
         }
@@ -159,15 +171,21 @@ impl Inner {
 impl Drop for Inner {
     fn drop(&mut self) {
         for tid in 0..self.threads.len() {
+            // SAFETY: `&mut self` in `drop` proves no thread is still using
+            // the scheme, so taking every per-thread state is exclusive.
             let st = unsafe { self.threads.get_mut(tid) };
             for bin in &mut st.limbo {
                 for h in bin.drain(..) {
+                    // SAFETY: all users are gone (see above); every retired
+                    // object is now unreachable and destroyed exactly once.
                     unsafe { destroy_tracked(h) };
                     track::global().on_reclaim();
                 }
             }
         }
         for h in self.orphans.drain() {
+            // SAFETY: as above — no users remain; orphaned retirees are
+            // exclusively ours.
             unsafe { destroy_tracked(h) };
             track::global().on_reclaim();
         }
@@ -216,12 +234,16 @@ impl Smr for Ebr {
 
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
         let tid = self.attach();
+        // SAFETY: `ptr` came from `Smr::alloc` (retire's contract), so it
+        // is the value field of a live `SmrLinked` allocation.
         let h = unsafe { SmrHeader::of_value(ptr) };
+        orc_util::chk_hooks::on_retire(h as usize);
         let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.stats.bump(tid, Event::Retire);
         self.inner.stats.note_unreclaimed(now as u64);
         track::global().on_retire();
         let e = self.inner.global_epoch.load(Ordering::SeqCst);
+        // SAFETY: `tid` is the calling thread's slot; owner-only access.
         let st = unsafe { self.inner.threads.get_mut(tid) };
         st.limbo[(e % 3) as usize].push(h);
         st.retires += 1;
@@ -260,13 +282,15 @@ impl Smr for Ebr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicPtr;
+    use orc_util::atomics::AtomicPtr;
 
     #[test]
     fn retire_then_flush_reclaims_when_quiescent() {
         let ebr = Ebr::new();
         for i in 0..10 {
             let p = ebr.alloc(i as u64);
+            // SAFETY: `p` came from this scheme's `alloc` and is retired
+            // exactly once.
             unsafe { ebr.retire(p) };
         }
         assert!(ebr.unreclaimed() > 0);
@@ -288,6 +312,7 @@ mod tests {
         });
         pinned_rx.recv().unwrap();
         let p = ebr.alloc(1u64);
+        // SAFETY: allocated above, unshared, retired once.
         unsafe { ebr.retire(p) };
         ebr.flush();
         assert_eq!(
@@ -308,11 +333,14 @@ mod tests {
         let p = ebr.alloc(5u64);
         let addr = AtomicPtr::new(p);
         let got = ebr.protect_ptr(0, &addr);
+        // SAFETY: `got` came from `alloc` above and is retired once.
         unsafe { ebr.retire(got) };
         // We are pinned; even aggressive flushing from this thread cannot
         // free the object out from under us... but flush from the same
         // thread while pinned would deadlock semantics — EBR contract says
         // retire defers. Simply check the object is still readable.
+        // SAFETY: we are pinned in the retire epoch, so the object cannot
+        // have been freed.
         assert_eq!(unsafe { *got }, 5);
         ebr.end_op();
         ebr.flush();
@@ -333,9 +361,13 @@ mod tests {
                         if t % 2 == 0 {
                             let n = ebr.alloc(i);
                             let old = addr.swap(n, Ordering::SeqCst);
+                            // SAFETY: the swap made us the unlinker; each
+                            // object is retired by exactly one thread.
                             unsafe { ebr.retire(old) };
                         } else {
                             let p = ebr.protect_ptr(0, &addr);
+                            // SAFETY: we are pinned; EBR defers any
+                            // concurrent retire of `p` past our `end_op`.
                             assert!(unsafe { *p } < 4_000);
                         }
                         ebr.end_op();
@@ -347,6 +379,8 @@ mod tests {
             h.join().unwrap();
         }
         let last = addr.load(Ordering::SeqCst);
+        // SAFETY: all threads joined; `last` is the one live object and is
+        // retired exactly once.
         unsafe { ebr.retire(last) };
         ebr.flush();
         assert_eq!(ebr.unreclaimed(), 0);

@@ -7,11 +7,11 @@
 
 use crate::header::SmrHeader;
 use crate::MAX_HPS;
+use orc_util::atomics::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use orc_util::registry;
 use orc_util::stats::{Event, SchemeStats};
 use orc_util::CachePadded;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
 #[cfg(not(target_pointer_width = "64"))]
 compile_error!("the reclamation schemes assume a 64-bit platform (u64 eras stored in usize slots)");
@@ -135,7 +135,12 @@ pub struct PerThread<T> {
     cells: Box<[CachePadded<UnsafeCell<T>>]>,
 }
 
+// SAFETY: each cell is only ever touched by its owning thread (the
+// `get_mut` contract); `T: Send` lets ownership follow tid reuse across OS
+// threads.
 unsafe impl<T: Send> Sync for PerThread<T> {}
+// SAFETY: as for `Sync` — the cells hold `Send` data and no thread-affine
+// state.
 unsafe impl<T: Send> Send for PerThread<T> {}
 
 impl<T: Default> PerThread<T> {
@@ -160,6 +165,8 @@ impl<T> PerThread<T> {
     #[allow(clippy::mut_from_ref)]
     #[inline]
     pub unsafe fn get_mut(&self, tid: usize) -> &mut T {
+        // SAFETY: the caller owns `tid` (this function's contract), so no
+        // other reference to this cell can exist.
         unsafe { &mut *self.cells[tid].get() }
     }
 
@@ -193,6 +200,8 @@ impl OrphanStack {
     pub unsafe fn push(&self, h: *mut SmrHeader) {
         let mut cur = self.head.load(Ordering::Acquire);
         loop {
+            // SAFETY: `h` is live and exclusively ours until the CAS below
+            // publishes it (this function's contract).
             unsafe { (*h).next.store(cur, Ordering::Relaxed) };
             match self
                 .head
@@ -212,6 +221,8 @@ impl OrphanStack {
         let mut h = self.head.swap(std::ptr::null_mut(), Ordering::AcqRel);
         let mut out = Vec::new();
         while !h.is_null() {
+            // SAFETY: the swap above made this chain exclusively ours; every
+            // header on it is a live retired object.
             let next = unsafe { (*h).next.load(Ordering::Relaxed) };
             out.push(h);
             h = next;
@@ -328,6 +339,8 @@ mod tests {
         let st = OrphanStack::new();
         let a = SmrHeader::alloc(1u32, 0);
         let b = SmrHeader::alloc(2u32, 0);
+        // SAFETY: both came from `alloc` above, unshared; pushing hands
+        // their ownership to the stack.
         unsafe {
             st.push(SmrHeader::of_value(a));
             st.push(SmrHeader::of_value(b));
@@ -337,6 +350,7 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert_eq!(st.len(), 0);
         for h in drained {
+            // SAFETY: draining took the ownership back; destroyed once.
             unsafe { SmrHeader::destroy(h) };
         }
     }
@@ -353,6 +367,7 @@ mod tests {
     #[test]
     fn per_thread_is_isolated() {
         let p: PerThread<Vec<u32>> = PerThread::new();
+        // SAFETY: single-threaded test — this thread owns every slot.
         unsafe {
             p.get_mut(0).push(1);
             p.get_mut(1).push(2);

@@ -15,9 +15,9 @@
 use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
 use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
 use crate::{Smr, MAX_HPS};
+use orc_util::atomics::{AtomicU64, AtomicUsize, Ordering};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// How many retires between era-clock increments (the original paper's
@@ -31,6 +31,9 @@ struct ThreadState {
     scratch: Vec<u64>,
 }
 
+// SAFETY: the raw header pointers in `retired` are objects whose
+// ownership was transferred here by `retire`; no other thread touches
+// them until `scan`/`Drop` destroys the unprotected ones.
 unsafe impl Send for ThreadState {}
 
 struct Inner {
@@ -119,6 +122,8 @@ impl Inner {
 
     fn scan(&self, tid: usize) {
         self.stats.bump(tid, Event::Scan);
+        // SAFETY: `tid` is the calling thread's registry slot; only the
+        // owner (or its exit hook / `Inner::drop`) touches this state.
         let st = unsafe { self.threads.get_mut(tid) };
         for h in self.orphans.drain() {
             st.retired.push(h);
@@ -141,7 +146,10 @@ impl Inner {
         let mut kept = Vec::with_capacity(retired.len());
         let mut freed = 0u64;
         for &h in retired.iter() {
+            // SAFETY: `h` sits on our retired list — retired but not yet
+            // destroyed, so the header is live and readable.
             let birth = unsafe { (*h).birth_era };
+            // SAFETY: as above.
             let del = unsafe { (*h).del_era.load(Ordering::Relaxed) };
             // Freed iff no reservation e with birth <= e <= del.
             let lo = scratch.partition_point(|&e| e < birth);
@@ -149,6 +157,9 @@ impl Inner {
             if covered {
                 kept.push(h);
             } else {
+                // SAFETY: no reservation covers `[birth, del]`, so no
+                // thread holds (or can regain) a reference — the HE
+                // reclamation condition.
                 unsafe { destroy_tracked(h) };
                 self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
                 track::global().on_reclaim();
@@ -163,8 +174,12 @@ impl Inner {
     fn thread_exit(&self, tid: usize) {
         self.reservations.clear_row(tid);
         self.scan(tid);
+        // SAFETY: called by the exiting owner thread (exit hook), the only
+        // remaining user of slot `tid`.
         let st = unsafe { self.threads.get_mut(tid) };
         for h in st.retired.drain(..) {
+            // SAFETY: `h` is a retired header drained from our own list;
+            // pushing transfers its ownership to the orphan stack.
             unsafe { self.orphans.push(h) };
         }
         self.hooks.reset(tid);
@@ -174,13 +189,18 @@ impl Inner {
 impl Drop for Inner {
     fn drop(&mut self) {
         for tid in 0..self.threads.len() {
+            // SAFETY: `&mut self` in `drop` proves no thread is still using
+            // the scheme, so taking every per-thread state is exclusive.
             let st = unsafe { self.threads.get_mut(tid) };
             for h in st.retired.drain(..) {
+                // SAFETY: all users are gone (see above); every retired
+                // object is now unreachable and destroyed exactly once.
                 unsafe { destroy_tracked(h) };
                 track::global().on_reclaim();
             }
         }
         for h in self.orphans.drain() {
+            // SAFETY: as above — orphaned retirees are exclusively ours.
             unsafe { destroy_tracked(h) };
             track::global().on_reclaim();
         }
@@ -250,13 +270,19 @@ impl Smr for HazardEras {
 
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
         let tid = self.attach();
+        // SAFETY: `ptr` came from `Smr::alloc` (retire's contract), so it
+        // is the value field of a live `SmrLinked` allocation.
         let h = unsafe { SmrHeader::of_value(ptr) };
+        orc_util::chk_hooks::on_retire(h as usize);
         let era = self.inner.era_clock.load(Ordering::SeqCst);
+        // SAFETY: `h` is live until this scheme destroys it, which cannot
+        // happen before it lands on the retired list below.
         unsafe { (*h).del_era.store(era, Ordering::Relaxed) };
         let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.stats.bump(tid, Event::Retire);
         self.inner.stats.note_unreclaimed(now as u64);
         track::global().on_retire();
+        // SAFETY: `tid` is the calling thread's slot; owner-only access.
         let st = unsafe { self.inner.threads.get_mut(tid) };
         st.retired.push(h);
         st.retires_since_bump += 1;
@@ -292,7 +318,7 @@ impl Smr for HazardEras {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicPtr;
+    use orc_util::atomics::AtomicPtr;
 
     #[test]
     fn object_lifetime_interval_is_respected() {
@@ -301,10 +327,13 @@ mod tests {
         let addr = AtomicPtr::new(p);
         let got = he.protect_ptr(0, &addr);
         assert_eq!(got, p);
+        // SAFETY: `p` came from this scheme's `alloc`, retired once.
         unsafe { he.retire(p) };
         // Our reservation covers [birth, del]: must not be freed.
         he.flush();
         assert_eq!(he.unreclaimed(), 1);
+        // SAFETY: our era reservation covers `p`'s lifetime interval, so
+        // it cannot have been freed.
         assert_eq!(unsafe { *p }, 1);
         he.end_op();
         he.flush();
@@ -324,12 +353,14 @@ mod tests {
             he.inner.era_clock.fetch_add(1, Ordering::SeqCst);
         }
         let newer = he.alloc(9u64);
+        // SAFETY: allocated above, unshared, retired once.
         unsafe { he.retire(newer) };
         he.flush();
         // `newer` was born after our reservation; it must be freed even
         // though slot 0 still holds an (older) era.
         assert_eq!(he.unreclaimed(), 0);
         he.end_op();
+        // SAFETY: allocated above, unshared, retired once.
         unsafe { he.retire(dummy) };
         he.flush();
         assert_eq!(he.unreclaimed(), 0);
@@ -357,6 +388,7 @@ mod tests {
             reserved
         );
         he.end_op();
+        // SAFETY: allocated above, unshared, retired once.
         unsafe { he.retire(p) };
         he.flush();
         assert_eq!(he.unreclaimed(), 0);
@@ -375,9 +407,13 @@ mod tests {
                         if t % 2 == 0 {
                             let n = he.alloc(i);
                             let old = addr.swap(n, Ordering::SeqCst);
+                            // SAFETY: the swap made us the unlinker; each
+                            // object is retired by exactly one thread.
                             unsafe { he.retire(old) };
                         } else {
                             let p = he.protect_ptr(0, &addr);
+                            // SAFETY: our reservation covers `p`'s era, so
+                            // a concurrent retire cannot free it yet.
                             assert!(unsafe { *p } < 4_000);
                             he.end_op();
                         }
@@ -389,6 +425,8 @@ mod tests {
             h.join().unwrap();
         }
         let last = addr.load(Ordering::SeqCst);
+        // SAFETY: all threads joined; `last` is the one live object and is
+        // retired exactly once.
         unsafe { he.retire(last) };
         he.flush();
         assert_eq!(he.unreclaimed(), 0);

@@ -11,8 +11,9 @@
 //! Hazard *slots*, by contrast, always hold value pointers, because that is
 //! what data structures read from their links and publish.
 
+use orc_util::atomics::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use orc_util::chk_hooks::{self, ReclaimAction};
 use std::mem;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize};
 
 /// Era value meaning "no reservation" / "not yet deleted".
 pub const NO_ERA: u64 = 0;
@@ -26,8 +27,10 @@ pub struct SmrHeader {
     pub del_era: AtomicU64,
     /// Intrusive link for retired lists / orphan chains.
     pub next: AtomicPtr<SmrHeader>,
-    /// Type-erased destructor: reconstructs the `Box<SmrBox<T>>` and drops it.
-    drop_fn: unsafe fn(*mut SmrHeader),
+    /// Type-erased destructor: reconstructs the `Box<SmrBox<T>>` and drops
+    /// it — or, under the orc-check quarantine, drops the value in place and
+    /// leaks the allocation so the address stays poisoned.
+    drop_fn: unsafe fn(*mut SmrHeader, ReclaimAction),
     /// Offset from the header to the value, in bytes.
     value_offset: u32,
     /// Total allocation size in bytes (for memory accounting).
@@ -40,8 +43,21 @@ pub struct SmrBox<T> {
     pub value: T,
 }
 
-unsafe fn drop_box<T>(h: *mut SmrHeader) {
-    drop(unsafe { Box::from_raw(h as *mut SmrBox<T>) });
+unsafe fn drop_box<T>(h: *mut SmrHeader, action: ReclaimAction) {
+    match action {
+        // SAFETY: `h` came out of `SmrHeader::alloc::<T>`'s `Box::into_raw`
+        // (the `drop_fn` contract), is live, and this is its single
+        // reclamation.
+        ReclaimAction::Free => drop(unsafe { Box::from_raw(h as *mut SmrBox<T>) }),
+        // Quarantine (orc-check model runs): run the destructor but leak the
+        // allocation, so a use-after-reclaim the oracle just flagged cannot
+        // touch recycled memory and the execution can finish its trace.
+        // SAFETY: same provenance as the `Free` arm; single destructor run,
+        // allocation intentionally leaked.
+        ReclaimAction::Quarantine => unsafe {
+            std::ptr::drop_in_place(h as *mut SmrBox<T>);
+        },
+    }
 }
 
 impl SmrHeader {
@@ -59,6 +75,9 @@ impl SmrHeader {
             value,
         });
         let raw = Box::into_raw(boxed);
+        chk_hooks::on_alloc(raw as usize, mem::size_of::<SmrBox<T>>());
+        // SAFETY: `raw` is the freshly leaked box; projecting to `value`
+        // stays inside the allocation.
         unsafe { &raw mut (*raw).value }
     }
 
@@ -69,6 +88,9 @@ impl SmrHeader {
     /// yet destroyed.
     #[inline]
     pub unsafe fn of_value<T>(value: *mut T) -> *mut SmrHeader {
+        // SAFETY: `value` sits at `offset_of!(SmrBox<T>, value)` inside a
+        // live `SmrBox<T>` (this function's contract), so the subtraction
+        // lands on the box's header.
         unsafe { (value as *mut u8).sub(mem::offset_of!(SmrBox<T>, value)) as *mut SmrHeader }
     }
 
@@ -79,6 +101,7 @@ impl SmrHeader {
     /// `h` must be a live header.
     #[inline]
     pub unsafe fn value_word(h: *mut SmrHeader) -> usize {
+        // SAFETY: `h` is live per this function's contract.
         let off = unsafe { (*h).value_offset } as usize;
         h as usize + off
     }
@@ -92,15 +115,19 @@ impl SmrHeader {
         // Double-free tripwire: a destroyed header's del_era is stamped
         // with a magic value. Catching this *before* the allocator's
         // metadata is corrupted turns heisencrashes into clean aborts.
-        let prev =
-            unsafe { &(*h).del_era }.swap(u64::MAX - 0xDEAD, std::sync::atomic::Ordering::SeqCst);
+        // SAFETY: `h` is live per this function's contract.
+        let prev = unsafe { &(*h).del_era }.swap(u64::MAX - 0xDEAD, Ordering::SeqCst);
         assert_ne!(
             prev,
             u64::MAX - 0xDEAD,
             "double free of tracked object {h:p}"
         );
+        // SAFETY: still live — the tripwire above only stamps `del_era`.
         let f = unsafe { (*h).drop_fn };
-        unsafe { f(h) };
+        let action = chk_hooks::on_reclaim(h as usize);
+        // SAFETY: `drop_fn` was installed by `alloc` for `h`'s own `T`;
+        // unreachability (the contract) makes this the one reclamation.
+        unsafe { f(h, action) };
     }
 }
 
@@ -117,7 +144,9 @@ pub fn alloc_tracked<T>(value: T, birth_era: u64) -> *mut T {
 /// # Safety
 /// Same contract as [`SmrHeader::destroy`].
 pub unsafe fn destroy_tracked(h: *mut SmrHeader) {
+    // SAFETY: `h` is live per this function's contract.
     let bytes = unsafe { (*h).bytes } as usize;
+    // SAFETY: forwarded contract — live and unreachable.
     unsafe { SmrHeader::destroy(h) };
     orc_util::track::global().on_free(bytes);
 }
@@ -127,16 +156,18 @@ pub unsafe fn destroy_tracked(h: *mut SmrHeader) {
 /// representation.
 #[inline]
 pub fn as_word<T>(addr: &AtomicPtr<T>) -> &AtomicUsize {
+    // SAFETY: `AtomicPtr<T>` and `AtomicUsize` have identical size,
+    // alignment and atomic representation (both wrap one pointer-sized
+    // word), so the reference cast is a valid reinterpretation.
     unsafe { &*(addr as *const AtomicPtr<T> as *const AtomicUsize) }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
-    struct DropProbe(Arc<std::sync::atomic::AtomicUsize>);
+    struct DropProbe(Arc<AtomicUsize>);
     impl Drop for DropProbe {
         fn drop(&mut self) {
             self.0.fetch_add(1, Ordering::SeqCst);
@@ -145,12 +176,16 @@ mod tests {
 
     #[test]
     fn alloc_roundtrip_and_destroy() {
-        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let drops = Arc::new(AtomicUsize::new(0));
         let p = SmrHeader::alloc(DropProbe(drops.clone()), 7);
+        // SAFETY: `p` came from `alloc` above, unshared, live.
         let h = unsafe { SmrHeader::of_value(p) };
+        // SAFETY: `h` is live (as above).
         assert_eq!(unsafe { SmrHeader::value_word(h) }, p as usize);
+        // SAFETY: as above.
         assert_eq!(unsafe { (*h).birth_era }, 7);
         assert_eq!(drops.load(Ordering::SeqCst), 0);
+        // SAFETY: unshared; destroyed exactly once.
         unsafe { SmrHeader::destroy(h) };
         assert_eq!(drops.load(Ordering::SeqCst), 1);
     }
@@ -158,6 +193,7 @@ mod tests {
     #[test]
     fn value_is_usable_through_pointer() {
         let p = SmrHeader::alloc(vec![1u32, 2, 3], 0);
+        // SAFETY: freshly allocated, unshared, destroyed exactly once.
         unsafe {
             assert_eq!((*p).len(), 3);
             (*p).push(4);
@@ -172,8 +208,11 @@ mod tests {
         struct Aligned(#[allow(dead_code)] u8);
         let p = SmrHeader::alloc(Aligned(9), 0);
         assert_eq!(p as usize % 64, 0);
+        // SAFETY: `p` came from `alloc` above, unshared, live.
         let h = unsafe { SmrHeader::of_value(p) };
+        // SAFETY: `h` is live (as above).
         assert_eq!(unsafe { SmrHeader::value_word(h) }, p as usize);
+        // SAFETY: unshared; destroyed exactly once.
         unsafe { SmrHeader::destroy(h) };
     }
 
@@ -182,6 +221,7 @@ mod tests {
         let x = Box::into_raw(Box::new(5u8));
         let a: AtomicPtr<u8> = AtomicPtr::new(x);
         assert_eq!(as_word(&a).load(Ordering::SeqCst), x as usize);
+        // SAFETY: `x` came from `Box::into_raw` above; freed exactly once.
         unsafe { drop(Box::from_raw(x)) };
     }
 
@@ -189,6 +229,7 @@ mod tests {
     fn headers_are_linkable() {
         let a = SmrHeader::alloc(1u64, 0);
         let b = SmrHeader::alloc(2u64, 0);
+        // SAFETY: both freshly allocated, unshared, destroyed exactly once.
         unsafe {
             let ha = SmrHeader::of_value(a);
             let hb = SmrHeader::of_value(b);

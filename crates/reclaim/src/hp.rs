@@ -11,9 +11,9 @@
 use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
 use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
 use crate::{Smr, MAX_HPS};
+use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 #[derive(Default)]
@@ -22,8 +22,9 @@ struct ThreadState {
     scratch: Vec<usize>,
 }
 
-// Raw header pointers are plain data here: ownership is transferred through
-// the retired list protocol.
+// SAFETY: raw header pointers are plain data here — ownership is
+// transferred through the retired-list protocol, and the state itself is
+// only accessed by the owning tid.
 unsafe impl Send for ThreadState {}
 
 struct Inner {
@@ -108,6 +109,8 @@ impl Inner {
     /// Frees every entry of `tid`'s retired list not currently protected.
     fn scan(&self, tid: usize) {
         self.stats.bump(tid, Event::Scan);
+        // SAFETY: `scan` is only called by the thread owning `tid` (retire/
+        // flush path) or from the exit hook on that same thread.
         let st = unsafe { self.threads.get_mut(tid) };
         // Adopt orphaned retirements from exited threads.
         for h in self.orphans.drain() {
@@ -119,12 +122,13 @@ impl Inner {
         let mut kept = Vec::with_capacity(retired.len());
         let mut freed = 0u64;
         for &h in retired.iter() {
-            if scratch
-                .binary_search(&unsafe { SmrHeader::value_word(h) })
-                .is_ok()
-            {
+            // SAFETY: retired headers are live until this scan frees them.
+            let word = unsafe { SmrHeader::value_word(h) };
+            if scratch.binary_search(&word).is_ok() {
                 kept.push(h);
             } else {
+                // SAFETY: `h` is retired (unreachable) and no hazard slot
+                // publishes it — the Michael 2004 reclamation condition.
                 unsafe { destroy_tracked(h) };
                 self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
                 track::global().on_reclaim();
@@ -138,8 +142,12 @@ impl Inner {
 
     fn thread_exit(&self, tid: usize) {
         self.scan(tid);
+        // SAFETY: the exit hook runs on the owning thread before the tid is
+        // released.
         let st = unsafe { self.threads.get_mut(tid) };
         for h in st.retired.drain(..) {
+            // SAFETY: draining the list transfers exclusive ownership of
+            // each live retired header to the orphan stack.
             unsafe { self.orphans.push(h) };
         }
         self.slots.clear_row(tid);
@@ -151,13 +159,17 @@ impl Drop for Inner {
     fn drop(&mut self) {
         // Exclusive access: free everything still deferred.
         for tid in 0..self.threads.len() {
+            // SAFETY: `&mut self` in `Drop` is exclusive access to every row.
             let st = unsafe { self.threads.get_mut(tid) };
             for h in st.retired.drain(..) {
+                // SAFETY: no user of the scheme remains; every retired
+                // header is unreachable and freed exactly once.
                 unsafe { destroy_tracked(h) };
                 track::global().on_reclaim();
             }
         }
         for h in self.orphans.drain() {
+            // SAFETY: as above — teardown owns the orphans exclusively.
             unsafe { destroy_tracked(h) };
             track::global().on_reclaim();
         }
@@ -202,11 +214,14 @@ impl Smr for HazardPointers {
 
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
         let tid = self.attach();
+        // SAFETY: `ptr` came from `Smr::alloc` (the `retire` contract).
         let h = unsafe { SmrHeader::of_value(ptr) };
+        orc_util::chk_hooks::on_retire(h as usize);
         let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.stats.bump(tid, Event::Retire);
         self.inner.stats.note_unreclaimed(now as u64);
         track::global().on_retire();
+        // SAFETY: `tid` is the calling thread's own registry slot.
         let st = unsafe { self.inner.threads.get_mut(tid) };
         st.retired.push(h);
         if st.retired.len() >= self.inner.threshold() {
@@ -236,7 +251,7 @@ impl Smr for HazardPointers {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicPtr;
+    use orc_util::atomics::AtomicPtr;
 
     #[test]
     fn protect_then_retire_defers_free() {
@@ -247,8 +262,10 @@ mod tests {
         assert_eq!(got, p);
         // Simulate unlink + retire by another logical owner: with our own
         // hazard published, the scan must NOT free it.
+        // SAFETY: `p` came from this scheme's `alloc`, retired once.
         unsafe { hp.retire(p) };
         assert_eq!(hp.unreclaimed(), 1);
+        // SAFETY: our hazard slot protects `p`; the scan kept it alive.
         assert_eq!(unsafe { *p }, 42);
         // Dropping protection lets the next flush reclaim it.
         hp.end_op();
@@ -261,6 +278,7 @@ mod tests {
         let hp = HazardPointers::with_threshold(4);
         for _ in 0..16 {
             let p = hp.alloc(7u32);
+            // SAFETY: allocated above, unshared, retired once.
             unsafe { hp.retire(p) };
         }
         hp.flush();
@@ -273,6 +291,7 @@ mod tests {
         let hp2 = hp.clone();
         std::thread::spawn(move || {
             let p = hp2.alloc(1u8);
+            // SAFETY: allocated above, unshared, retired once.
             unsafe { hp2.retire(p) };
         })
         .join()
@@ -296,10 +315,13 @@ mod tests {
             let got = hp2.protect_ptr(0, &addr2);
             tx.send(()).unwrap();
             done_rx.recv().unwrap();
+            // SAFETY: our hazard slot protects `got`; the concurrent
+            // retire+scan must not free it while the protection stands.
             assert_eq!(unsafe { *got }, 9);
             hp2.end_op();
         });
         rx.recv().unwrap();
+        // SAFETY: allocated above, retired once (by this thread only).
         unsafe { hp.retire(p) };
         hp.flush();
         assert_eq!(hp.unreclaimed(), 1, "protected object must survive scan");
@@ -322,6 +344,7 @@ mod tests {
             let hp = HazardPointers::with_threshold(1_000_000);
             for _ in 0..100 {
                 let p = hp.alloc(Probe(drops.clone()));
+                // SAFETY: allocated above, unshared, retired once.
                 unsafe { hp.retire(p) };
             }
         }
@@ -343,10 +366,14 @@ mod tests {
                             // Writer: swap in a fresh node, retire the old.
                             let n = hp.alloc(i);
                             let old = addr.swap(n, Ordering::SeqCst);
+                            // SAFETY: the swap made us the unlinker; each
+                            // object is retired by exactly one thread.
                             unsafe { hp.retire(old) };
                         } else {
                             // Reader: protect and read.
                             let p = hp.protect_ptr(0, &addr);
+                            // SAFETY: our hazard slot protects `p`; a
+                            // concurrent scan must not free it.
                             let v = unsafe { *p };
                             assert!(v < 5_000);
                             hp.end_op();
@@ -359,6 +386,8 @@ mod tests {
             h.join().unwrap();
         }
         let last = addr.load(Ordering::SeqCst);
+        // SAFETY: all threads joined; `last` is the one live object and is
+        // retired exactly once.
         unsafe { hp.retire(last) };
         hp.flush();
         assert_eq!(hp.unreclaimed(), 0);

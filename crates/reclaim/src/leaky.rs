@@ -14,9 +14,9 @@
 use crate::hazard::OrphanStack;
 use crate::header::{destroy_tracked, SmrHeader};
 use crate::Smr;
+use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::stats::{self, Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, stall, track};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 struct Inner {
@@ -30,6 +30,8 @@ impl Drop for Inner {
     fn drop(&mut self) {
         // Exclusive access at teardown: the leak ends with the scheme.
         for h in self.retired.drain() {
+            // SAFETY: `&mut self` in `drop` proves no user remains; every
+            // parked retiree is exclusively ours and freed exactly once.
             unsafe { destroy_tracked(h) };
             track::global().on_reclaim();
         }
@@ -100,10 +102,18 @@ impl Smr for Leaky {
             self.inner.stats.note_unreclaimed(now as u64);
         }
         track::global().on_retire();
-        unsafe { self.inner.retired.push(SmrHeader::of_value(ptr)) };
+        // SAFETY: `ptr` came from `Smr::alloc` (retire's contract), so it
+        // is the value field of a live `SmrLinked` allocation.
+        let h = unsafe { SmrHeader::of_value(ptr) };
+        orc_util::chk_hooks::on_retire(h as usize);
+        // SAFETY: pushing transfers the retired object's ownership to the
+        // parked stack; it is never freed before `Inner::drop`.
+        unsafe { self.inner.retired.push(h) };
     }
 
     unsafe fn dealloc_now<T>(&self, ptr: *mut T) {
+        // SAFETY: `ptr` came from `Smr::alloc` and the caller guarantees
+        // exclusive ownership (dealloc_now's contract).
         unsafe { crate::header::destroy_tracked(SmrHeader::of_value(ptr)) };
     }
 
@@ -145,11 +155,13 @@ mod tests {
     fn retire_counts_but_never_frees_while_alive() {
         let l = Leaky::new();
         let p = l.alloc(123u64);
+        // SAFETY: `p` came from this scheme's `alloc`, retired once.
         unsafe { l.retire(p) };
         assert_eq!(l.unreclaimed(), 1);
         l.flush();
         assert_eq!(l.unreclaimed(), 1);
         // The object is still readable — that is the point of the baseline.
+        // SAFETY: Leaky never frees while alive, so `p` is still live.
         assert_eq!(unsafe { *p }, 123);
     }
 
@@ -167,6 +179,7 @@ mod tests {
             let l2 = l.clone();
             for _ in 0..10 {
                 let p = l.alloc(Probe(drops.clone()));
+                // SAFETY: allocated above, unshared, retired once.
                 unsafe { l2.retire(p) };
             }
             assert_eq!(drops.load(Ordering::SeqCst), 0, "no frees while alive");
@@ -190,6 +203,7 @@ mod tests {
         let l = Leaky::new();
         let drops = std::sync::Arc::new(AtomicUsize::new(0));
         let p = l.alloc(Probe(drops.clone()));
+        // SAFETY: allocated above and never shared — exclusive ownership.
         unsafe { l.dealloc_now(p) };
         assert_eq!(drops.load(Ordering::SeqCst), 1);
     }

@@ -60,7 +60,7 @@ pub use ptb::PassTheBuck;
 pub use ptp::PassThePointer;
 pub use scheme_kind::{AnySmr, SchemeKind};
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize};
+use orc_util::atomics::{AtomicPtr, AtomicUsize};
 
 /// Maximum hazard slots (the paper's `H`) a data structure may use per
 /// thread under the manual schemes. Lists/queues need ≤ 3; the NM-tree uses
@@ -133,6 +133,8 @@ pub trait Smr: Send + Sync + 'static {
     /// Caller must guarantee quiescence (no concurrent readers), e.g. inside
     /// a structure's `Drop` with `&mut self`.
     unsafe fn dealloc_now<T>(&self, ptr: *mut T) {
+        // SAFETY: `ptr` came from `Smr::alloc` and the caller guarantees
+        // quiescence (this method's contract) — exclusive, freed once.
         unsafe { header::destroy_tracked(SmrHeader::of_value(ptr)) };
     }
 

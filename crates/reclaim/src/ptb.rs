@@ -20,10 +20,10 @@
 use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
 use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
 use crate::{Smr, MAX_HPS};
+use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::dwcas::{pack, unpack, AtomicU128};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track, CachePadded};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 #[derive(Default)]
@@ -31,6 +31,9 @@ struct ThreadState {
     retired: Vec<*mut SmrHeader>,
 }
 
+// SAFETY: the raw header pointers in `retired` are objects whose
+// ownership was transferred here by `retire`; no other thread touches
+// them until `liberate`/`Drop` frees or hands them off.
 unsafe impl Send for ThreadState {}
 
 struct Inner {
@@ -122,18 +125,18 @@ impl Inner {
         while it < wm {
             let mut idx = 0;
             while idx < MAX_HPS {
-                if self.guards.get(it, idx).load(Ordering::SeqCst)
-                    == unsafe { SmrHeader::value_word(h) }
-                {
+                // SAFETY: `h` is a retired-but-not-destroyed header from
+                // the candidate set; its header stays readable until this
+                // scheme frees it.
+                let word = unsafe { SmrHeader::value_word(h) };
+                if self.guards.get(it, idx).load(Ordering::SeqCst) == word {
                     // Guard (it, idx) traps h: hand it off with a versioned
                     // DWCAS; retry on version races while still trapped.
                     let slot = &self.handoff[it][idx];
                     loop {
                         let cur = slot.load();
                         let (old_ptr, ver) = unpack(cur);
-                        if self.guards.get(it, idx).load(Ordering::SeqCst)
-                            != unsafe { SmrHeader::value_word(h) }
-                        {
+                        if self.guards.get(it, idx).load(Ordering::SeqCst) != word {
                             break; // guard moved on; rescan this slot
                         }
                         let (_, ok) =
@@ -151,9 +154,10 @@ impl Inner {
                             break;
                         }
                     }
-                    if self.guards.get(it, idx).load(Ordering::SeqCst)
-                        == unsafe { SmrHeader::value_word(h) }
-                    {
+                    // SAFETY: `h` is now the displaced occupant — also a
+                    // retired-but-live header owned by the liberation scan.
+                    let word = unsafe { SmrHeader::value_word(h) };
+                    if self.guards.get(it, idx).load(Ordering::SeqCst) == word {
                         continue; // re-examine the same slot for the new h
                     }
                 }
@@ -166,6 +170,8 @@ impl Inner {
 
     fn liberate(&self, tid: usize) {
         self.stats.bump(tid, Event::Scan);
+        // SAFETY: `tid` is the calling thread's registry slot; only the
+        // owner (or its exit hook / `Inner::drop`) touches this state.
         let st = unsafe { self.threads.get_mut(tid) };
         for h in self.orphans.drain() {
             st.retired.push(h);
@@ -174,6 +180,9 @@ impl Inner {
         let mut freed = 0u64;
         for h in candidates {
             if let Some(free) = self.liberate_one(tid, h) {
+                // SAFETY: the full guard scan found no trap for `free` and
+                // handed nothing off, so no thread can reach it — the PTB
+                // liberation condition.
                 unsafe { destroy_tracked(free) };
                 self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
                 track::global().on_reclaim();
@@ -200,6 +209,9 @@ impl Inner {
                 // The guard is down; nothing traps it here any more, but
                 // another guard might — re-liberate.
                 if let Some(free) = self.liberate_one(tid, h) {
+                    // SAFETY: we took exclusive ownership of `h` via the
+                    // DWCAS above, and the re-scan found no other guard
+                    // trapping `free`.
                     unsafe { destroy_tracked(free) };
                     self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
                     track::global().on_reclaim();
@@ -216,8 +228,12 @@ impl Inner {
         for idx in 0..MAX_HPS {
             self.clear_slot(tid, idx);
         }
+        // SAFETY: called by the exiting owner thread (exit hook), the only
+        // remaining user of slot `tid`.
         let st = unsafe { self.threads.get_mut(tid) };
         for h in st.retired.drain(..) {
+            // SAFETY: `h` is a retired header drained from our own list;
+            // pushing transfers its ownership to the orphan stack.
             unsafe { self.orphans.push(h) };
         }
         self.hooks.reset(tid);
@@ -227,13 +243,18 @@ impl Inner {
 impl Drop for Inner {
     fn drop(&mut self) {
         for tid in 0..self.threads.len() {
+            // SAFETY: `&mut self` in `drop` proves no thread is still using
+            // the scheme, so taking every per-thread state is exclusive.
             let st = unsafe { self.threads.get_mut(tid) };
             for h in st.retired.drain(..) {
+                // SAFETY: all users are gone (see above); every retired
+                // object is now unreachable and destroyed exactly once.
                 unsafe { destroy_tracked(h) };
                 track::global().on_reclaim();
             }
         }
         for h in self.orphans.drain() {
+            // SAFETY: as above — orphaned retirees are exclusively ours.
             unsafe { destroy_tracked(h) };
             track::global().on_reclaim();
         }
@@ -241,6 +262,9 @@ impl Drop for Inner {
             for slot in row.iter() {
                 let (ptr, _) = unpack(slot.load());
                 if ptr != 0 {
+                    // SAFETY: a handed-off value is a retired object owned
+                    // by its slot; with all users gone it is exclusively
+                    // ours and freed exactly once.
                     unsafe { destroy_tracked(ptr as *mut SmrHeader) };
                     track::global().on_reclaim();
                 }
@@ -289,11 +313,15 @@ impl Smr for PassTheBuck {
 
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
         let tid = self.attach();
+        // SAFETY: `ptr` came from `Smr::alloc` (retire's contract), so it
+        // is the value field of a live `SmrLinked` allocation.
         let h = unsafe { SmrHeader::of_value(ptr) };
+        orc_util::chk_hooks::on_retire(h as usize);
         let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.stats.bump(tid, Event::Retire);
         self.inner.stats.note_unreclaimed(now as u64);
         track::global().on_retire();
+        // SAFETY: `tid` is the calling thread's slot; owner-only access.
         let st = unsafe { self.inner.threads.get_mut(tid) };
         st.retired.push(h);
         if st.retired.len() >= self.inner.threshold() {
@@ -323,13 +351,14 @@ impl Smr for PassTheBuck {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicPtr;
+    use orc_util::atomics::AtomicPtr;
 
     #[test]
     fn unguarded_retire_frees_on_liberate() {
         let ptb = PassTheBuck::with_threshold(4);
         for i in 0..16 {
             let p = ptb.alloc(i as u64);
+            // SAFETY: `p` came from this scheme's `alloc`, retired once.
             unsafe { ptb.retire(p) };
         }
         ptb.flush();
@@ -342,8 +371,11 @@ mod tests {
         let p = ptb.alloc(3u64);
         let addr = AtomicPtr::new(p);
         ptb.protect_ptr(0, &addr);
+        // SAFETY: allocated above, unshared, retired once.
         unsafe { ptb.retire(p) }; // liberate runs; hands p to our own guard
         assert_eq!(ptb.unreclaimed(), 1);
+        // SAFETY: our guard traps `p`; liberate handed it off instead of
+        // freeing it.
         assert_eq!(unsafe { *p }, 3);
         ptb.clear(0); // dropping the guard reclaims the handoff value
         assert_eq!(ptb.unreclaimed(), 0);
@@ -356,9 +388,11 @@ mod tests {
         let b = ptb.alloc(2u64);
         let addr = AtomicPtr::new(a);
         ptb.protect_ptr(0, &addr);
+        // SAFETY: allocated above, unshared, retired once.
         unsafe { ptb.retire(a) }; // a handed to guard 0
         addr.store(b, Ordering::SeqCst);
         ptb.protect_ptr(0, &addr); // guard 0 now traps b
+                                   // SAFETY: allocated above, unshared, retired once.
         unsafe { ptb.retire(b) }; // b handed off, a displaced and freed
         assert_eq!(ptb.unreclaimed(), 1);
         ptb.end_op();
@@ -378,10 +412,13 @@ mod tests {
             let got = ptb2.protect_ptr(1, &addr2);
             tx.send(()).unwrap();
             done_rx.recv().unwrap();
+            // SAFETY: our guard (slot 1) traps `got`; a concurrent retire
+            // hands it off rather than freeing it.
             assert_eq!(unsafe { *got }, 8);
             ptb2.end_op();
         });
         rx.recv().unwrap();
+        // SAFETY: allocated above, retired once (by this thread only).
         unsafe { ptb.retire(p) };
         assert_eq!(ptb.unreclaimed(), 1);
         done_tx.send(()).unwrap();
@@ -402,9 +439,13 @@ mod tests {
                         if t % 2 == 0 {
                             let n = ptb.alloc(i);
                             let old = addr.swap(n, Ordering::SeqCst);
+                            // SAFETY: the swap made us the unlinker; each
+                            // object is retired by exactly one thread.
                             unsafe { ptb.retire(old) };
                         } else {
                             let p = ptb.protect_ptr(0, &addr);
+                            // SAFETY: our guard traps `p`; a concurrent
+                            // liberate hands it off instead of freeing it.
                             assert!(unsafe { *p } < 4_000);
                             ptb.end_op();
                         }
@@ -416,6 +457,8 @@ mod tests {
             h.join().unwrap();
         }
         let last = addr.load(Ordering::SeqCst);
+        // SAFETY: all threads joined; `last` is the one live object and is
+        // retired exactly once.
         unsafe { ptb.retire(last) };
         ptb.flush();
         assert_eq!(ptb.unreclaimed(), 0);

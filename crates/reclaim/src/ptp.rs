@@ -28,9 +28,9 @@
 use crate::hazard::{ExitHooks, SlotArray};
 use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
 use crate::{Smr, MAX_HPS};
+use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
 use orc_util::{registry, track};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 struct Inner {
@@ -104,9 +104,11 @@ impl Inner {
         while it < wm {
             let mut idx = 0;
             while idx < MAX_HPS {
-                if self.hp.get(it, idx).load(Ordering::SeqCst)
-                    == unsafe { SmrHeader::value_word(h) }
-                {
+                // SAFETY: `h` is a retired-but-not-destroyed header owned
+                // by this walk; the header stays readable until the walk
+                // deletes it or parks it.
+                let word = unsafe { SmrHeader::value_word(h) };
+                if self.hp.get(it, idx).load(Ordering::SeqCst) == word {
                     let prev = self
                         .handovers
                         .get(it, idx)
@@ -118,9 +120,10 @@ impl Inner {
                     h = prev as *mut SmrHeader;
                     // Re-check the same slot against the pointer we just
                     // took over (Algorithm 2, lines 30–31).
-                    if self.hp.get(it, idx).load(Ordering::SeqCst)
-                        == unsafe { SmrHeader::value_word(h) }
-                    {
+                    // SAFETY: `h` is now the displaced occupant — also a
+                    // retired-but-live header owned by this walk.
+                    let word = unsafe { SmrHeader::value_word(h) };
+                    if self.hp.get(it, idx).load(Ordering::SeqCst) == word {
                         continue;
                     }
                 }
@@ -128,6 +131,10 @@ impl Inner {
             }
             it += 1;
         }
+        // SAFETY: the walk covered every registered row without finding a
+        // protector, and forward-only handovers mean no slot behind us can
+        // regain a protection on a retired (unreachable) object —
+        // Algorithm 2's deletion condition.
         unsafe { destroy_tracked(h) };
         self.unreclaimed.fetch_sub(1, Ordering::Relaxed);
         track::global().on_reclaim();
@@ -162,6 +169,9 @@ impl Drop for Inner {
             for idx in 0..MAX_HPS {
                 let parked = self.handovers.get(tid, idx).swap(0, Ordering::SeqCst);
                 if parked != 0 {
+                    // SAFETY: `&mut self` in `drop` proves no thread still
+                    // uses the scheme; a parked object is owned by its
+                    // entry and freed exactly once.
                     unsafe { destroy_tracked(parked as *mut SmrHeader) };
                     track::global().on_reclaim();
                 }
@@ -210,7 +220,10 @@ impl Smr for PassThePointer {
 
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
         let tid = self.attach();
+        // SAFETY: `ptr` came from `Smr::alloc` (retire's contract), so it
+        // is the value field of a live `SmrLinked` allocation.
         let h = unsafe { SmrHeader::of_value(ptr) };
+        orc_util::chk_hooks::on_retire(h as usize);
         let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.stats.bump(tid, Event::Retire);
         self.inner.stats.note_unreclaimed(now as u64);
@@ -247,7 +260,7 @@ impl Smr for PassThePointer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicPtr;
+    use orc_util::atomics::AtomicPtr;
 
     #[test]
     fn unprotected_retire_frees_immediately() {
@@ -260,6 +273,7 @@ mod tests {
         let ptp = PassThePointer::new();
         let drops = Arc::new(AtomicUsize::new(0));
         let p = ptp.alloc(Probe(drops.clone()));
+        // SAFETY: `p` came from this scheme's `alloc`, retired once.
         unsafe { ptp.retire(p) };
         assert_eq!(ptp.unreclaimed(), 0, "no protector: deleted on the spot");
         assert_eq!(drops.load(Ordering::SeqCst), 1);
@@ -272,9 +286,12 @@ mod tests {
         let addr = AtomicPtr::new(p);
         let got = ptp.protect_ptr(0, &addr);
         assert_eq!(got, p);
+        // SAFETY: allocated above, unshared, retired once.
         unsafe { ptp.retire(p) };
         // Parked on our own slot: still readable, counted as unreclaimed.
         assert_eq!(ptp.unreclaimed(), 1);
+        // SAFETY: our hazard slot protects `p`; retire parked it instead
+        // of freeing it.
         assert_eq!(unsafe { *p }, 5);
         // Clearing the slot continues (and here finishes) the retirement.
         ptp.clear(0);
@@ -292,6 +309,7 @@ mod tests {
             ptrs.push(p);
         }
         for p in &ptrs {
+            // SAFETY: each pointer came from `alloc` and is retired once.
             unsafe { ptp.retire(*p) };
         }
         assert_eq!(ptp.unreclaimed(), 4);
@@ -309,14 +327,17 @@ mod tests {
         let b = ptp.alloc(2u64);
         let addr = AtomicPtr::new(a);
         ptp.protect_ptr(0, &addr);
+        // SAFETY: allocated above, unshared, retired once.
         unsafe { ptp.retire(a) }; // parked on slot 0
         assert_eq!(ptp.unreclaimed(), 1);
         // Re-protect slot 0 on b, then retire b: b parks, a is displaced and
         // freed (slot no longer protects a).
         addr.store(b, Ordering::SeqCst);
         ptp.protect_ptr(0, &addr);
+        // SAFETY: allocated above, unshared, retired once.
         unsafe { ptp.retire(b) };
         assert_eq!(ptp.unreclaimed(), 1, "only b should remain parked");
+        // SAFETY: `b` is parked on our slot, not freed.
         assert_eq!(unsafe { *b }, 2);
         ptp.end_op();
         assert_eq!(ptp.unreclaimed(), 0);
@@ -337,10 +358,13 @@ mod tests {
             retired_rx.recv().unwrap();
             // Object was retired by the main thread while we protect it; we
             // must still be able to read it.
+            // SAFETY: our hazard slot protects `got`; the concurrent
+            // retire parked it on our handover entry instead of freeing.
             assert_eq!(unsafe { *got }, 77);
             ptp2.end_op(); // draining our handover frees it
         });
         protected_rx.recv().unwrap();
+        // SAFETY: allocated above, retired once (by this thread only).
         unsafe { ptp.retire(p) };
         assert_eq!(ptp.unreclaimed(), 1, "parked on the reader's slot");
         retired_tx.send(()).unwrap();
@@ -354,7 +378,7 @@ mod tests {
         // continuously. PTP guarantees unreclaimed <= t*(H+1) at all times.
         let ptp = Arc::new(PassThePointer::new());
         let readers = 3usize;
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new(orc_util::atomics::AtomicBool::new(false));
         let shared: Arc<Vec<AtomicPtr<u64>>> = Arc::new(
             (0..MAX_HPS)
                 .map(|_| AtomicPtr::new(std::ptr::null_mut()))
@@ -373,6 +397,9 @@ mod tests {
                     for idx in 0..MAX_HPS {
                         let p = ptp.protect_ptr(idx, &shared[idx]);
                         if !p.is_null() {
+                            // SAFETY: our hazard slot protects `p`; a
+                            // concurrent retire parks it rather than
+                            // freeing it while the protection stands.
                             unsafe { std::ptr::read_volatile(p) };
                         }
                     }
@@ -385,6 +412,8 @@ mod tests {
             let idx = (round as usize) % MAX_HPS;
             let fresh = ptp.alloc(round);
             let old = shared[idx].swap(fresh, Ordering::SeqCst);
+            // SAFETY: the swap made us the unlinker; each object is
+            // retired by exactly one thread.
             unsafe { ptp.retire(old) };
             max_seen = max_seen.max(ptp.unreclaimed());
         }
@@ -400,6 +429,8 @@ mod tests {
         // Cleanup.
         for s in shared.iter() {
             let p = s.swap(std::ptr::null_mut(), Ordering::SeqCst);
+            // SAFETY: readers joined; each remaining object is retired
+            // exactly once.
             unsafe { ptp.retire(p) };
         }
         ptp.end_op();

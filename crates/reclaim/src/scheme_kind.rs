@@ -19,7 +19,7 @@
 
 use crate::stats::StatsSnapshot;
 use crate::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
-use std::sync::atomic::{AtomicPtr, AtomicUsize};
+use orc_util::atomics::{AtomicPtr, AtomicUsize};
 
 /// One of the six manual reclamation schemes, as a value.
 ///
@@ -229,10 +229,12 @@ impl Smr for AnySmr {
     }
 
     unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        // SAFETY: forwards this method's own contract to the inner scheme.
         on_scheme!(self, s => unsafe { s.retire(ptr) })
     }
 
     unsafe fn dealloc_now<T>(&self, ptr: *mut T) {
+        // SAFETY: forwards this method's own contract to the inner scheme.
         on_scheme!(self, s => unsafe { s.dealloc_now(ptr) })
     }
 
@@ -318,9 +320,12 @@ mod tests {
             let slot = AtomicUsize::new(smr.alloc(7u64) as usize);
             smr.begin_op();
             let w = smr.protect(0, &slot);
+            // SAFETY: slot 0 protects `w` (and this test is
+            // single-threaded anyway).
             assert_eq!(unsafe { *(w as *const u64) }, 7);
             let fresh = smr.alloc(9u64) as usize;
-            let old = slot.swap(fresh, std::sync::atomic::Ordering::SeqCst);
+            let old = slot.swap(fresh, orc_util::atomics::Ordering::SeqCst);
+            // SAFETY: `old` came from this scheme's `alloc`, retired once.
             unsafe { smr.retire(old as *mut u64) };
             smr.end_op();
             smr.flush();
@@ -330,7 +335,8 @@ mod tests {
             } else {
                 assert_eq!(smr.unreclaimed(), 1, "the leaky baseline holds it");
             }
-            let last = slot.load(std::sync::atomic::Ordering::SeqCst);
+            let last = slot.load(orc_util::atomics::Ordering::SeqCst);
+            // SAFETY: single-threaded — quiescent, exclusive ownership.
             unsafe { smr.dealloc_now(last as *mut u64) };
         }
     }
@@ -357,6 +363,7 @@ mod tests {
             let _ = smr.protect(idx, &slot);
         }
         smr.end_op();
-        unsafe { smr.dealloc_now(slot.load(std::sync::atomic::Ordering::SeqCst) as *mut u64) };
+        // SAFETY: single-threaded — quiescent, exclusive ownership.
+        unsafe { smr.dealloc_now(slot.load(orc_util::atomics::Ordering::SeqCst) as *mut u64) };
     }
 }

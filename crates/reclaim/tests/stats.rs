@@ -5,8 +5,8 @@
 //! [`Smr::stats`]: `reclaims <= retires` and
 //! `retires - reclaims == unreclaimed()`.
 
+use orc_util::atomics::{AtomicPtr, Ordering};
 use reclaim::{Ebr, HazardEras, HazardPointers, Leaky, PassTheBuck, PassThePointer, Smr};
-use std::sync::atomic::{AtomicPtr, Ordering};
 
 /// Swap-and-retire churn through one shared location, with a protected
 /// read per round, then flush to quiescence.
@@ -15,13 +15,17 @@ fn churn<S: Smr>(s: &S, rounds: u64) {
     for i in 0..rounds {
         s.begin_op();
         let p = s.protect_ptr(0, &addr);
+        // SAFETY: slot 0 protects `p` (single-threaded churn: nothing is
+        // freed out from under us anyway).
         assert!(unsafe { *p } <= i);
         s.end_op();
         let n = s.alloc(i + 1);
         let old = addr.swap(n, Ordering::SeqCst);
+        // SAFETY: the swap unlinked `old`; retired exactly once.
         unsafe { s.retire(old) };
     }
     let last = addr.swap(std::ptr::null_mut(), Ordering::SeqCst);
+    // SAFETY: as above — the final occupant, retired exactly once.
     unsafe { s.retire(last) };
     s.flush();
 }
@@ -129,6 +133,7 @@ fn ptp_handover_is_counted() {
     s.protect_ptr(0, &addr);
     // Retiring while our own slot protects it parks the pointer in the
     // handover matrix — exactly one handover event.
+    // SAFETY: `p` came from this scheme's `alloc`, retired once.
     unsafe { s.retire(p) };
     assert_eq!(s.stats().handovers, 1);
     assert_eq!(s.stats().outstanding(), 1);
@@ -143,6 +148,7 @@ fn ptb_handover_is_counted() {
     let p = s.alloc(5u32);
     let addr = AtomicPtr::new(p);
     s.protect_ptr(0, &addr);
+    // SAFETY: `p` came from this scheme's `alloc`, retired once.
     unsafe { s.retire(p) }; // liberate hands p to our own guard
     assert!(s.stats().handovers >= 1);
     s.end_op();

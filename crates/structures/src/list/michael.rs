@@ -9,9 +9,9 @@
 //! protection to a *higher* slot index, as pass-the-pointer requires.
 
 use crate::ConcurrentSet;
+use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::marked::{is_marked, mark, unmark};
 use reclaim::Smr;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 struct Node<K> {
     key: K,

@@ -24,10 +24,10 @@
 //! structure (fourth list of Figures 5–6, descriptor-heavy) is preserved.
 
 use crate::ConcurrentSet;
+use orc_util::atomics::{AtomicU8, Ordering};
 use orc_util::marked::{mark, unmark};
 use orc_util::registry;
 use orcgc::{make_orc, OrcAtomic, OrcPtr};
-use std::sync::atomic::{AtomicU8, Ordering};
 
 struct Node<K: Send + Sync> {
     key: K,

@@ -13,10 +13,10 @@
 //! is replaced.
 
 use crate::ConcurrentQueue;
+use orc_util::atomics::{AtomicI64, Ordering};
 use orc_util::registry;
 use orcgc::{make_orc, OrcAtomic};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicI64, Ordering};
 
 struct Node<T> {
     item: UnsafeCell<Option<T>>,

@@ -15,10 +15,10 @@
 //! `T*` tokens the same way).
 
 use crate::ConcurrentQueue;
+use orc_util::atomics::{AtomicU64, Ordering};
 use orc_util::dwcas::{pack, unpack, AtomicU128};
 use orc_util::CachePadded;
 use orcgc::{make_orc, OrcAtomic};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Ring capacity (cells per segment). The original evaluates with 2¹⁷;
 /// we default smaller so memory-bound tests stay reasonable.

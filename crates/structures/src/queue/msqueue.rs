@@ -6,9 +6,9 @@
 //! swing — the one place the MS queue makes a node unreachable.
 
 use crate::ConcurrentQueue;
+use orc_util::atomics::{AtomicPtr, Ordering};
 use reclaim::{as_word, Smr};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicPtr, Ordering};
 
 struct Node<T> {
     item: UnsafeCell<Option<T>>,

@@ -29,10 +29,10 @@
 //! it among the structures manual schemes cannot serve.
 
 use crate::ConcurrentQueue;
+use orc_util::atomics::{AtomicI64, Ordering};
 use orc_util::registry;
 use orcgc::{make_orc, OrcAtomic, OrcPtr};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicI64, Ordering};
 
 struct Node<T> {
     item: UnsafeCell<Option<T>>,

@@ -21,9 +21,9 @@
 
 use super::SKey;
 use crate::ConcurrentSet;
+use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::marked::{is_marked as is_flagged, mark as flag, tag, tag_bits, unmark};
 use reclaim::Smr;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 const HP_CHILD: usize = 0;
 const HP_LEAF: usize = 1;

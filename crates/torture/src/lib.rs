@@ -31,12 +31,12 @@
 //! by the `TORTURE_ITERS` / `TORTURE_THREADS` environment knobs and
 //! sliced by the `ORC_SCHEMES` / `ORC_STRUCTS` matrix filters.
 
+use orc_util::atomics::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use orc_util::registry;
 use orc_util::rng::XorShift64;
 use orc_util::stall::{self, Gate, StallPoint};
 use orc_util::track::Ledger;
 use reclaim::{SchemeKind, Smr, StatsSnapshot, MAX_HPS};
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use structures::registry::{DynQueue, DynSet, MakeQueue, MakeSet, QueueCell, SetCell};

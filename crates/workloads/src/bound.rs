@@ -14,9 +14,9 @@
 //!   (grows with the writer's op count).
 //! * OrcGC  — pass-the-pointer hand-over ⇒ linear, like PTP.
 
+use orc_util::atomics::{AtomicBool, AtomicPtr, Ordering};
 use orcgc::{make_orc, OrcAtomic};
 use reclaim::Smr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::{Arc, Barrier};
 
 /// Outcome of one adversary run.

@@ -8,8 +8,8 @@
 //!   as in the paper's artifact.
 
 use crate::record::Measurement;
+use orc_util::atomics::{AtomicBool, AtomicU64, Ordering};
 use orc_util::rng::XorShift64;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 use structures::{ConcurrentQueue, ConcurrentSet};
