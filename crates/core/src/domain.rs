@@ -24,7 +24,8 @@ use crate::header::OrcHeader;
 use crate::word::{is_zero_retired, is_zero_unclaimed, BRETIRED, SEQ};
 use orc_util::atomics::{AtomicU64, AtomicUsize, Ordering};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
-use orc_util::{chk_hooks, registry, track, CachePadded};
+use orc_util::trace::{self, EventKind};
+use orc_util::{chk_hooks, registry, trace_event_at, track, CachePadded};
 use std::cell::UnsafeCell;
 
 /// Hazard slots per thread (the paper's `maxHPs` capacity; the live
@@ -109,6 +110,17 @@ impl Domain {
     #[inline]
     pub(crate) fn note_retired(&self, tid: usize, h: *mut OrcHeader) {
         chk_hooks::on_retire(h as usize);
+        if orc_util::stats::enabled() {
+            // SAFETY: the caller holds `h`'s BRETIRED claim, so the header
+            // is alive for the whole call.
+            unsafe { &(*h).retire_ns }.store(trace::now_ns(), Ordering::Relaxed);
+        }
+        trace_event_at!(
+            tid,
+            EventKind::BRetired,
+            h as usize,
+            trace::next_retire_seq()
+        );
         let now = self.retired_now.fetch_add(1, Ordering::Relaxed) + 1;
         self.retired_max.fetch_max(now, Ordering::Relaxed);
         self.stats.bump(tid, Event::Retire);
@@ -122,6 +134,12 @@ impl Domain {
     #[inline]
     fn note_unretired(&self, tid: usize, h: *mut OrcHeader) {
         chk_hooks::on_unretire(h as usize);
+        if orc_util::stats::enabled() {
+            // SAFETY: the caller still holds `h` pinned (scratch slot), so
+            // the header is alive; the claim it stamps is being given back.
+            unsafe { &(*h).retire_ns }.store(0, Ordering::Relaxed);
+        }
+        trace_event_at!(tid, EventKind::Unretire, h as usize);
         self.retired_now.fetch_sub(1, Ordering::Relaxed);
         self.stats.bump(tid, Event::Reclaim);
         track::global().on_reclaim();
@@ -220,6 +238,7 @@ impl Domain {
                 return word;
             }
             self.stats.bump(tid, Event::ProtectRetry);
+            trace_event_at!(tid, EventKind::ProtectRetry, crate::ptr::protectable(cur));
             word = cur;
         }
     }
@@ -253,19 +272,20 @@ impl Domain {
             // SAFETY: `word` is still published in our hazard slot, so the
             // object cannot have been deleted (Proposition 1).
             let lorc = unsafe { (*h).orc.load(Ordering::SeqCst) };
-            if is_zero_unclaimed(lorc)
+            if is_zero_unclaimed(lorc) {
+                trace_event_at!(tid, EventKind::OrcZero, h as usize);
                 // SAFETY: as above — our slot still pins `h`.
-                && unsafe {
+                if unsafe {
                     (*h).orc
                         .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
+                } {
+                    self.note_retired(tid, h);
+                    // Drop our protection before retiring so the scan does
+                    // not park the object straight back onto this slot.
+                    self.tl(tid).hp[idx as usize].store(0, Ordering::Release);
+                    self.retire(tid, h);
                 }
-            {
-                self.note_retired(tid, h);
-                // Drop our protection before retiring so the scan does not
-                // park the object straight back onto this slot.
-                self.tl(tid).hp[idx as usize].store(0, Ordering::Release);
-                self.retire(tid, h);
             }
         }
         self.tl(tid).hp[idx as usize].store(0, Ordering::Release);
@@ -299,6 +319,7 @@ impl Domain {
         }
         // Incremented from -1 back to zero: the link we just counted has
         // already been removed. Try to claim the retire.
+        trace_event_at!(tid, EventKind::OrcZero, h as usize);
         // SAFETY: still under the caller's protection, as above.
         if unsafe {
             (*h).orc
@@ -322,14 +343,17 @@ impl Domain {
         // held a counted (or protected) link, so no deleter can free it
         // before our swap is visible (Proposition 1).
         let lorc = unsafe { (*h).orc.fetch_add(SEQ - 1, Ordering::SeqCst) }.wrapping_add(SEQ - 1);
-        if is_zero_unclaimed(lorc)
+        let mut claimed = false;
+        if is_zero_unclaimed(lorc) {
+            trace_event_at!(tid, EventKind::OrcZero, h as usize);
             // SAFETY: still pinned by scratch slot 0.
-            && unsafe {
+            claimed = unsafe {
                 (*h).orc
                     .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
-            }
-        {
+            };
+        }
+        if claimed {
             self.note_retired(tid, h);
             scratch.store(0, Ordering::Release);
             self.retire(tid, h);
@@ -362,6 +386,7 @@ impl Domain {
         }
         *started = true;
         self.stats.bump(tid, Event::Scan);
+        trace_event_at!(tid, EventKind::ScanBegin);
         let mut destroyed = 0u64;
         let mut h = first;
         let mut i = 0usize;
@@ -388,6 +413,15 @@ impl Domain {
                         // Lemma 1 established: delete. The value's own
                         // OrcAtomic fields drop here, feeding
                         // recursive_list through nested retire calls.
+                        if orc_util::stats::enabled() {
+                            // SAFETY: `h` is still live here (freed on the
+                            // next line).
+                            let at = unsafe { &(*h).retire_ns }.load(Ordering::Relaxed);
+                            if at != 0 {
+                                self.stats
+                                    .reclaim_delay(tid, trace::now_ns().saturating_sub(at));
+                            }
+                        }
                         // SAFETY: counter at zero, claim held, and the
                         // hazard scan found no protector — `h` is ours to
                         // free, exactly once.
@@ -421,6 +455,10 @@ impl Domain {
         // One retire pass = one reclamation batch (the recursive cascade
         // included), matching the batch semantics of the manual schemes.
         self.stats.batch(tid, destroyed);
+        if destroyed != 0 {
+            trace_event_at!(tid, EventKind::ReclaimBatch, destroyed);
+        }
+        trace_event_at!(tid, EventKind::ScanEnd, destroyed);
     }
 
     /// `tryHandover` (Algorithm 6): scan every published hazard pointer up
@@ -436,6 +474,7 @@ impl Domain {
                 if tl.hp[idx].load(Ordering::SeqCst) == word {
                     let prev = tl.handovers[idx].swap(word, Ordering::SeqCst);
                     self.stats.bump(tid, Event::Handover);
+                    trace_event_at!(tid, EventKind::Handover, word);
                     *h = prev as *mut OrcHeader;
                     return true;
                 }
@@ -453,13 +492,17 @@ impl Domain {
         // SAFETY: we hold `h`'s BRETIRED claim *and* just published it in
         // scratch slot 0, so the header is alive.
         let lorc = unsafe { (*h).orc.fetch_sub(BRETIRED, Ordering::SeqCst) } - BRETIRED;
-        let out = if is_zero_unclaimed(lorc)
+        let mut reclaimed = false;
+        if is_zero_unclaimed(lorc) {
+            trace_event_at!(tid, EventKind::OrcZero, h as usize);
             // SAFETY: still pinned by scratch slot 0.
-            && unsafe {
+            reclaimed = unsafe {
                 (*h).orc
                     .compare_exchange(lorc, lorc + BRETIRED, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
-            } {
+            };
+        }
+        let out = if reclaimed {
             lorc + BRETIRED
         } else {
             self.note_unretired(tid, h);

@@ -26,6 +26,11 @@ pub struct OrcHeader {
     pub(crate) drop_fn: unsafe fn(*mut OrcHeader, ReclaimAction),
     /// Allocation size in bytes.
     pub(crate) bytes: u32,
+    /// Timestamp ([`orc_util::trace::now_ns`]) of the last successful
+    /// BRETIRED claim; 0 = never stamped / claim relinquished. Only
+    /// written when orc-stats is enabled; feeds the retire→reclaim
+    /// latency histogram.
+    pub(crate) retire_ns: AtomicU64,
 }
 
 /// Allocation layout of every tracked object.
@@ -63,11 +68,17 @@ impl OrcHeader {
                 orc: AtomicU64::new(ORC_INIT),
                 drop_fn: drop_linked::<T>,
                 bytes: std::mem::size_of::<Linked<T>>() as u32,
+                retire_ns: AtomicU64::new(0),
             },
             value,
         });
         let raw = Box::into_raw(boxed) as *mut OrcHeader;
         chk_hooks::on_alloc(raw as usize, std::mem::size_of::<Linked<T>>());
+        orc_util::trace_event!(
+            orc_util::trace::EventKind::Alloc,
+            raw as usize,
+            std::mem::size_of::<Linked<T>>()
+        );
         raw
     }
 

@@ -129,8 +129,15 @@ pub fn flush_thread() {
 /// Aggregated reclamation telemetry (orc-stats) for the process-wide OrcGC
 /// domain: retires (BRETIRED claims), reclaims (deletions plus relinquished
 /// claims), retire-scan passes, protect validation retries, handovers,
-/// batch-size histogram and the peak of [`Domain::unreclaimed`]. All zeros
-/// when `ORC_STATS=0`.
+/// batch-size histogram, the retire→reclaim latency histogram
+/// (`delay_p50()`/`delay_p99()`/`max_delay_ns`, stamped at the BRETIRED
+/// claim and measured at the actual deletion) and the peak of
+/// [`Domain::unreclaimed`]. All zeros when `ORC_STATS=0`.
+///
+/// The domain also emits orc-trace events (`orc_util::trace`) for every
+/// claim transition: `OrcZero`, `BRetired`, `Unretire`, plus the shared
+/// `Alloc`/`ScanBegin`/`ScanEnd`/`ReclaimBatch`/`Handover`/`ProtectRetry`
+/// taxonomy — see DESIGN.md §10.
 ///
 /// At quiescence `retires - reclaims == domain().unreclaimed()` holds
 /// exactly, mirroring the `Smr::stats` contract of the manual schemes in

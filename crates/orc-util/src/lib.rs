@@ -21,7 +21,12 @@
 //!   harness to validate the paper's unreclaimed-memory bounds.
 //! * [`stats`] — orc-stats: per-thread sharded reclamation telemetry
 //!   (retires, reclaims, scans, protect retries, handovers, batch-size
-//!   histograms) behind an `ORC_STATS=0` kill-switch.
+//!   histograms, retire→reclaim delay histograms) behind an `ORC_STATS=0`
+//!   kill-switch.
+//! * [`trace`] — orc-trace: per-tid lock-free ring-buffer event tracer
+//!   ([`trace_event!`]), flight recorder (panic-hook post-mortems) and
+//!   Chrome trace-event/Perfetto exporter, behind an `ORC_TRACE=0`
+//!   kill-switch.
 //! * [`atomics`] — the workspace atomics facade: plain `std::sync::atomic`
 //!   re-exports by default, instrumented orc-check shims under the
 //!   `orc_check` feature. All scheme/structure code imports atomics from
@@ -43,6 +48,7 @@ pub mod rng;
 pub mod stall;
 pub mod stats;
 pub mod sync;
+pub mod trace;
 pub mod track;
 
 pub use sync::Backoff;

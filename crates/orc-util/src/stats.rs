@@ -47,6 +47,12 @@ use crate::CachePadded;
 /// counts batches of size `[2^i, 2^(i+1))`, with the last bucket open.
 pub const BATCH_BUCKETS: usize = 32;
 
+/// Buckets in the retire→reclaim delay histogram. HDR-style layout: 4
+/// linear sub-buckets per power-of-two octave (relative error ≤ 25%),
+/// covering 0 ns to ~2^42 ns (≈ 73 minutes); longer delays land in the
+/// last (open) bucket. See [`delay_bucket_of`].
+pub const DELAY_BUCKETS: usize = 168;
+
 /// One countable reclamation event.
 ///
 /// The variants cover every scheme in the workspace; schemes simply never
@@ -79,6 +85,7 @@ const EVENTS: usize = 6;
 struct Shard {
     counters: [AtomicU64; EVENTS],
     batch_hist: [AtomicU64; BATCH_BUCKETS],
+    delay_hist: [AtomicU64; DELAY_BUCKETS],
 }
 
 impl Shard {
@@ -86,6 +93,7 @@ impl Shard {
         Self {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            delay_hist: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -96,6 +104,9 @@ pub struct SchemeStats {
     shards: Box<[CachePadded<Shard>]>,
     /// Process-wide high-water mark of the owner's `unreclaimed` gauge.
     peak_unreclaimed: AtomicU64,
+    /// Longest retire→reclaim delay observed, exactly (the histogram only
+    /// bounds it to a sub-bucket).
+    max_delay_ns: AtomicU64,
 }
 
 impl SchemeStats {
@@ -105,6 +116,7 @@ impl SchemeStats {
                 .map(|_| CachePadded::new(Shard::new()))
                 .collect(),
             peak_unreclaimed: AtomicU64::new(0),
+            max_delay_ns: AtomicU64::new(0),
         }
     }
 
@@ -143,6 +155,16 @@ impl SchemeStats {
         }
     }
 
+    /// Records one retire→reclaim delay of `ns` nanoseconds (the time an
+    /// object spent in the retired set before its memory came back).
+    #[inline]
+    pub fn reclaim_delay(&self, tid: usize, ns: u64) {
+        if enabled() {
+            self.shards[tid].delay_hist[delay_bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+            self.max_delay_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+    }
+
     /// Sums every shard into a point-in-time [`StatsSnapshot`].
     ///
     /// Counters are relaxed, so a snapshot taken during churn is
@@ -161,8 +183,12 @@ impl SchemeStats {
             for (acc, b) in s.batch_hist.iter_mut().zip(shard.batch_hist.iter()) {
                 *acc += b.load(Ordering::Relaxed);
             }
+            for (acc, b) in s.delay_hist.iter_mut().zip(shard.delay_hist.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
         }
         s.peak_unreclaimed = self.peak_unreclaimed.load(Ordering::Relaxed);
+        s.max_delay_ns = self.max_delay_ns.load(Ordering::Relaxed);
         s
     }
 }
@@ -177,6 +203,46 @@ impl Default for SchemeStats {
 #[inline]
 fn bucket_of(n: u64) -> usize {
     ((63 - n.leading_zeros()) as usize).min(BATCH_BUCKETS - 1)
+}
+
+/// Delay-histogram bucket for `ns`: values 0–3 get exact buckets; above
+/// that, each power-of-two octave splits into 4 linear sub-buckets
+/// (HDR-histogram layout), capped at [`DELAY_BUCKETS`]` - 1`.
+#[inline]
+fn delay_bucket_of(ns: u64) -> usize {
+    if ns < 4 {
+        return ns as usize;
+    }
+    let oct = (63 - ns.leading_zeros()) as usize; // ≥ 2
+    let sub = ((ns >> (oct - 2)) & 3) as usize;
+    ((oct - 2) * 4 + 4 + sub).min(DELAY_BUCKETS - 1)
+}
+
+/// Representative value (midpoint) of delay bucket `idx` — the inverse
+/// of [`delay_bucket_of`] used when reading quantiles back out.
+fn delay_bucket_value(idx: usize) -> u64 {
+    if idx < 4 {
+        return idx as u64;
+    }
+    let q = idx - 4;
+    let oct = q / 4 + 2;
+    let sub = (q % 4) as u64;
+    let lo = (4 + sub) << (oct - 2);
+    lo + (1u64 << (oct - 2)) / 2
+}
+
+/// Compact human formatting of a nanosecond duration for table cells
+/// (`"850ns"`, `"12.4us"`, `"3.1ms"`, `"2.50s"`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
 }
 
 // Kill-switch state: 0 = unread, 1 = enabled, 2 = disabled.
@@ -226,6 +292,12 @@ pub struct StatsSnapshot {
     /// Power-of-two reclamation batch sizes: `batch_hist[i]` counts
     /// batches of `[2^i, 2^(i+1))` objects freed in one pass.
     pub batch_hist: [u64; BATCH_BUCKETS],
+    /// Retire→reclaim delay histogram (HDR-style log-bucketed, see
+    /// [`DELAY_BUCKETS`]); one count per object whose free was observed
+    /// with a retire timestamp.
+    pub delay_hist: [u64; DELAY_BUCKETS],
+    /// Longest observed retire→reclaim delay, exact.
+    pub max_delay_ns: u64,
 }
 
 impl Default for StatsSnapshot {
@@ -239,6 +311,8 @@ impl Default for StatsSnapshot {
             handovers: 0,
             peak_unreclaimed: 0,
             batch_hist: [0; BATCH_BUCKETS],
+            delay_hist: [0; DELAY_BUCKETS],
+            max_delay_ns: 0,
         }
     }
 }
@@ -265,6 +339,44 @@ impl StatsSnapshot {
         }
     }
 
+    /// Objects with a recorded retire→reclaim delay. Can trail
+    /// `reclaims` (`ORC_STATS=0` at retire time records no stamp).
+    pub fn delays(&self) -> u64 {
+        self.delay_hist.iter().sum()
+    }
+
+    /// Retire→reclaim delay at quantile `q` ∈ (0, 1], in nanoseconds
+    /// (bucket midpoint, ≤ 25% relative error, clamped to the observed
+    /// maximum so quantiles never exceed `max_delay_ns`). 0 when none
+    /// recorded.
+    pub fn delay_quantile(&self, q: f64) -> u64 {
+        let total = self.delays();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.delay_hist.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The top bucket's midpoint can overshoot the true
+                // maximum; the clamp keeps p50 ≤ p99 ≤ max invariant.
+                return delay_bucket_value(i).min(self.max_delay_ns.max(1));
+            }
+        }
+        self.max_delay_ns
+    }
+
+    /// Median retire→reclaim delay, ns (0 when none recorded).
+    pub fn delay_p50(&self) -> u64 {
+        self.delay_quantile(0.50)
+    }
+
+    /// 99th-percentile retire→reclaim delay, ns (0 when none recorded).
+    pub fn delay_p99(&self) -> u64 {
+        self.delay_quantile(0.99)
+    }
+
     /// Counter movement since `base` (peak is carried, not differenced —
     /// it is a watermark, not a counter).
     pub fn since(&self, base: &StatsSnapshot) -> StatsSnapshot {
@@ -277,9 +389,14 @@ impl StatsSnapshot {
             handovers: self.handovers.saturating_sub(base.handovers),
             peak_unreclaimed: self.peak_unreclaimed,
             batch_hist: [0; BATCH_BUCKETS],
+            delay_hist: [0; DELAY_BUCKETS],
+            max_delay_ns: self.max_delay_ns,
         };
         for (i, b) in d.batch_hist.iter_mut().enumerate() {
             *b = self.batch_hist[i].saturating_sub(base.batch_hist[i]);
+        }
+        for (i, b) in d.delay_hist.iter_mut().enumerate() {
+            *b = self.delay_hist[i].saturating_sub(base.delay_hist[i]);
         }
         d
     }
@@ -294,10 +411,16 @@ impl StatsSnapshot {
             && self.protect_retries >= earlier.protect_retries
             && self.handovers >= earlier.handovers
             && self.peak_unreclaimed >= earlier.peak_unreclaimed
+            && self.max_delay_ns >= earlier.max_delay_ns
             && self
                 .batch_hist
                 .iter()
                 .zip(earlier.batch_hist.iter())
+                .all(|(a, b)| a >= b)
+            && self
+                .delay_hist
+                .iter()
+                .zip(earlier.delay_hist.iter())
                 .all(|(a, b)| a >= b)
     }
 
@@ -313,7 +436,7 @@ impl StatsSnapshot {
     /// [`table_row`]: Self::table_row
     pub fn table_header(label_col: &str) -> String {
         format!(
-            "{:<lw$} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6}",
+            "{:<lw$} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6} {:>8} {:>8} {:>8}",
             label_col,
             "Mops/s",
             "retires",
@@ -326,6 +449,9 @@ impl StatsSnapshot {
             "handover",
             "batches",
             "mean",
+            "rd-p50",
+            "rd-p99",
+            "rd-max",
             lw = Self::TABLE_LABEL_WIDTH,
         )
     }
@@ -339,8 +465,17 @@ impl StatsSnapshot {
             Some(m) => format!("{m:>8.3}"),
             None => format!("{:>8}", "-"),
         };
+        let (p50, p99, max) = if self.delays() == 0 {
+            ("-".into(), "-".into(), "-".into())
+        } else {
+            (
+                fmt_ns(self.delay_p50()),
+                fmt_ns(self.delay_p99()),
+                fmt_ns(self.max_delay_ns),
+            )
+        };
         format!(
-            "{label:<lw$} {mops} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6.1}",
+            "{label:<lw$} {mops} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6.1} {p50:>8} {p99:>8} {max:>8}",
             self.retires,
             self.reclaims,
             self.outstanding(),
@@ -358,7 +493,7 @@ impl StatsSnapshot {
     /// One-line human summary for progress output.
     pub fn summary(&self) -> String {
         format!(
-            "retires {} reclaims {} scans {} flushes {} retries {} handovers {} peak {} mean-batch {:.1}",
+            "retires {} reclaims {} scans {} flushes {} retries {} handovers {} peak {} mean-batch {:.1} rd-p50 {} rd-p99 {} rd-max {}",
             self.retires,
             self.reclaims,
             self.scans,
@@ -367,6 +502,9 @@ impl StatsSnapshot {
             self.handovers,
             self.peak_unreclaimed,
             self.mean_batch(),
+            fmt_ns(self.delay_p50()),
+            fmt_ns(self.delay_p99()),
+            fmt_ns(self.max_delay_ns),
         )
     }
 }
@@ -384,6 +522,66 @@ mod tests {
         assert_eq!(bucket_of(7), 2);
         assert_eq!(bucket_of(8), 3);
         assert_eq!(bucket_of(u64::MAX), BATCH_BUCKETS - 1);
+    }
+
+    #[test]
+    fn delay_buckets_are_monotone_and_invertible() {
+        // Exact low range.
+        for ns in 0..4u64 {
+            assert_eq!(delay_bucket_of(ns), ns as usize);
+            assert_eq!(delay_bucket_value(ns as usize), ns);
+        }
+        // Buckets are non-decreasing in ns and the representative value
+        // lands back in its own bucket.
+        let mut prev = 0;
+        for shift in 2..42 {
+            for sub in 0..4u64 {
+                let ns = (4 + sub) << (shift - 2);
+                let b = delay_bucket_of(ns);
+                assert!(b >= prev, "bucket regressed at ns={ns}");
+                prev = b;
+                assert_eq!(delay_bucket_of(delay_bucket_value(b)), b);
+            }
+        }
+        assert_eq!(delay_bucket_of(u64::MAX), DELAY_BUCKETS - 1);
+        // Relative error of the midpoint representative stays ≤ 25%.
+        for ns in [5u64, 100, 1_000, 123_456, 10_000_000] {
+            let v = delay_bucket_value(delay_bucket_of(ns)) as f64;
+            let err = (v - ns as f64).abs() / ns as f64;
+            assert!(err <= 0.25, "ns={ns} rep={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn delay_quantiles_from_synthetic_hist() {
+        let s = SchemeStats::new();
+        let tid = registry::tid();
+        // 99 fast frees at ~1 µs, one straggler at ~1 s.
+        for _ in 0..99 {
+            s.reclaim_delay(tid, 1_000);
+        }
+        s.reclaim_delay(tid, 1_000_000_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.delays(), 100);
+        assert_eq!(snap.max_delay_ns, 1_000_000_000);
+        let p50 = snap.delay_p50();
+        assert!((750..=1_250).contains(&p50), "p50={p50}");
+        let p99 = snap.delay_p99();
+        assert!(p99 <= 1_250, "p99 rank 99 is still a fast free, got {p99}");
+        assert!(snap.delay_quantile(1.0) >= 750_000_000);
+        assert_eq!(StatsSnapshot::default().delay_p50(), 0);
+    }
+
+    #[test]
+    fn fmt_ns_is_compact() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(850), "850ns");
+        assert_eq!(fmt_ns(12_400), "12.4us");
+        assert_eq!(fmt_ns(3_100_000), "3.1ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+        for ns in [0, 999, 999_949, 999_949_999, 9_999_994_999_999] {
+            assert!(fmt_ns(ns).len() <= 8, "{} too wide", fmt_ns(ns));
+        }
     }
 
     #[test]

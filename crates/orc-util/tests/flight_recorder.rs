@@ -1,0 +1,51 @@
+//! Flight-recorder panic-hook tests (their own process: the hook is
+//! global state, and these tests panic on purpose).
+//!
+//! Covers the PR's hook-registration bugfix contract:
+//! * `install_flight_recorder` is idempotent — N calls, one hook;
+//! * it *chains* to the previously installed hook rather than replacing
+//!   it (a prior user hook still runs);
+//! * a panic inside the dump cannot recurse (the `DUMPING` guard), and
+//!   every caught panic produces exactly one dump.
+
+use orc_util::trace::{self, EventKind};
+use std::panic;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PREV_HOOK_RUNS: AtomicU64 = AtomicU64::new(0);
+
+#[test]
+fn hook_installs_once_chains_and_counts_dumps() {
+    // A user hook installed *before* the flight recorder must keep
+    // firing after it.
+    let default = panic::take_hook();
+    panic::set_hook(Box::new(move |info| {
+        PREV_HOOK_RUNS.fetch_add(1, Ordering::SeqCst);
+        default(info);
+    }));
+
+    trace::install_flight_recorder();
+    trace::install_flight_recorder();
+    trace::install_flight_recorder();
+    assert_eq!(trace::flight_dump_count(), 0, "installing never dumps");
+
+    trace::record_at(9, EventKind::Retire, 0xabc, 1);
+
+    let r = panic::catch_unwind(|| panic!("first injected failure"));
+    assert!(r.is_err());
+    assert_eq!(
+        trace::flight_dump_count(),
+        1,
+        "triple-install must still dump exactly once per panic"
+    );
+    assert_eq!(
+        PREV_HOOK_RUNS.load(Ordering::SeqCst),
+        1,
+        "the recorder must chain to the previously installed hook"
+    );
+
+    let r = panic::catch_unwind(|| panic!("second injected failure"));
+    assert!(r.is_err());
+    assert_eq!(trace::flight_dump_count(), 2);
+    assert_eq!(PREV_HOOK_RUNS.load(Ordering::SeqCst), 2);
+}

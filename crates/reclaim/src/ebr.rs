@@ -10,11 +10,14 @@
 //! reclamation).
 
 use crate::hazard::{ExitHooks, OrphanStack, PerThread};
-use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
+use crate::header::{
+    alloc_tracked, destroy_tracked, mark_retired, record_reclaim_delay, SmrHeader,
+};
 use crate::Smr;
 use orc_util::atomics::{AtomicU64, AtomicUsize, Ordering};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
-use orc_util::{registry, track, CachePadded};
+use orc_util::trace::{self, EventKind};
+use orc_util::{registry, trace_event_at, track, CachePadded};
 use std::sync::Arc;
 
 /// Retires between advance attempts.
@@ -118,15 +121,20 @@ impl Inner {
             }
         }
         // Multiple threads may race; at most one increment wins per epoch.
-        let _ = self
+        if self
             .global_epoch
-            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            orc_util::trace_event!(EventKind::EpochAdvance, e + 1);
+        }
         self.global_epoch.load(Ordering::SeqCst)
     }
 
     /// Frees the limbo bin that is two epochs stale.
     fn collect(&self, tid: usize, epoch: u64) {
         self.stats.bump(tid, Event::Scan);
+        trace_event_at!(tid, EventKind::ScanBegin);
         // SAFETY: `tid` is the calling thread's registry slot; only the
         // owner (or its exit hook / `Inner::drop`) touches this state.
         let st = unsafe { self.threads.get_mut(tid) };
@@ -140,7 +148,14 @@ impl Inner {
         // Bin (e+1)%3 == (e-2)%3 holds objects retired at e-2: all threads
         // have since passed through at least one quiescent transition.
         let n = stale.len();
+        let delay_now = if orc_util::stats::enabled() {
+            trace::now_ns()
+        } else {
+            0
+        };
         for h in stale.drain(..) {
+            // SAFETY: `h` is still live here (freed two lines below).
+            unsafe { record_reclaim_delay(&self.stats, tid, h, delay_now) };
             // SAFETY: `h` was retired at least two epoch advances ago, so
             // every thread pinned at retire time has since unpinned — no
             // live reference can remain (Fraser's grace-period argument).
@@ -150,6 +165,10 @@ impl Inner {
         self.unreclaimed.fetch_sub(n, Ordering::Relaxed);
         self.stats.add(tid, Event::Reclaim, n as u64);
         self.stats.batch(tid, n as u64);
+        if n != 0 {
+            trace_event_at!(tid, EventKind::ReclaimBatch, n);
+        }
+        trace_event_at!(tid, EventKind::ScanEnd, n);
     }
 
     fn thread_exit(&self, tid: usize) {
@@ -238,6 +257,8 @@ impl Smr for Ebr {
         // is the value field of a live `SmrLinked` allocation.
         let h = unsafe { SmrHeader::of_value(ptr) };
         orc_util::chk_hooks::on_retire(h as usize);
+        // SAFETY: `h` is the live header just recovered from `ptr`.
+        unsafe { mark_retired(tid, h) };
         let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.stats.bump(tid, Event::Retire);
         self.inner.stats.note_unreclaimed(now as u64);

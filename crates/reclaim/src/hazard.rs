@@ -86,6 +86,11 @@ impl SlotArray {
                 return word;
             }
             stats.bump(tid, Event::ProtectRetry);
+            orc_util::trace_event_at!(
+                tid,
+                orc_util::trace::EventKind::ProtectRetry,
+                orc_util::marked::unmark(word)
+            );
             word = cur;
         }
     }

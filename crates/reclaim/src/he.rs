@@ -13,11 +13,14 @@
 //! [`SmrHeader`] already provides.
 
 use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
-use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
+use crate::header::{
+    alloc_tracked, destroy_tracked, mark_retired, record_reclaim_delay, SmrHeader,
+};
 use crate::{Smr, MAX_HPS};
 use orc_util::atomics::{AtomicU64, AtomicUsize, Ordering};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
-use orc_util::{registry, track};
+use orc_util::trace::{self, EventKind};
+use orc_util::{registry, trace_event_at, track};
 use std::sync::Arc;
 
 /// How many retires between era-clock increments (the original paper's
@@ -122,6 +125,7 @@ impl Inner {
 
     fn scan(&self, tid: usize) {
         self.stats.bump(tid, Event::Scan);
+        trace_event_at!(tid, EventKind::ScanBegin);
         // SAFETY: `tid` is the calling thread's registry slot; only the
         // owner (or its exit hook / `Inner::drop`) touches this state.
         let st = unsafe { self.threads.get_mut(tid) };
@@ -145,6 +149,11 @@ impl Inner {
         scratch.sort_unstable();
         let mut kept = Vec::with_capacity(retired.len());
         let mut freed = 0u64;
+        let delay_now = if orc_util::stats::enabled() {
+            trace::now_ns()
+        } else {
+            0
+        };
         for &h in retired.iter() {
             // SAFETY: `h` sits on our retired list — retired but not yet
             // destroyed, so the header is live and readable.
@@ -157,6 +166,8 @@ impl Inner {
             if covered {
                 kept.push(h);
             } else {
+                // SAFETY: `h` is still live here (freed two lines below).
+                unsafe { record_reclaim_delay(&self.stats, tid, h, delay_now) };
                 // SAFETY: no reservation covers `[birth, del]`, so no
                 // thread holds (or can regain) a reference — the HE
                 // reclamation condition.
@@ -168,6 +179,10 @@ impl Inner {
         }
         self.stats.add(tid, Event::Reclaim, freed);
         self.stats.batch(tid, freed);
+        if freed != 0 {
+            trace_event_at!(tid, EventKind::ReclaimBatch, freed);
+        }
+        trace_event_at!(tid, EventKind::ScanEnd, freed);
         *retired = kept;
     }
 
@@ -244,6 +259,7 @@ impl Smr for HazardEras {
             // publication, not a retry.)
             if prev != 0 {
                 self.inner.stats.bump(tid, Event::ProtectRetry);
+                trace_event_at!(tid, EventKind::ProtectRetry, word);
             }
             res.swap(era as usize, Ordering::SeqCst);
             prev = era;
@@ -274,6 +290,8 @@ impl Smr for HazardEras {
         // is the value field of a live `SmrLinked` allocation.
         let h = unsafe { SmrHeader::of_value(ptr) };
         orc_util::chk_hooks::on_retire(h as usize);
+        // SAFETY: `h` is the live header just recovered from `ptr`.
+        unsafe { mark_retired(tid, h) };
         let era = self.inner.era_clock.load(Ordering::SeqCst);
         // SAFETY: `h` is live until this scheme destroys it, which cannot
         // happen before it lands on the retired list below.
@@ -288,7 +306,8 @@ impl Smr for HazardEras {
         st.retires_since_bump += 1;
         if st.retires_since_bump >= ERA_FREQ {
             st.retires_since_bump = 0;
-            self.inner.era_clock.fetch_add(1, Ordering::SeqCst);
+            let new_era = self.inner.era_clock.fetch_add(1, Ordering::SeqCst) + 1;
+            trace_event_at!(tid, EventKind::EpochAdvance, new_era);
         }
         if st.retired.len() >= self.inner.threshold() {
             self.inner.scan(tid);

@@ -13,6 +13,8 @@
 
 use orc_util::atomics::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use orc_util::chk_hooks::{self, ReclaimAction};
+use orc_util::stats::SchemeStats;
+use orc_util::trace;
 use std::mem;
 
 /// Era value meaning "no reservation" / "not yet deleted".
@@ -25,6 +27,10 @@ pub struct SmrHeader {
     pub birth_era: u64,
     /// Era clock value at retirement (hazard eras). `NO_ERA` while live.
     pub del_era: AtomicU64,
+    /// orc-trace retire stamp ([`trace::now_ns`], never 0 once stamped;
+    /// 0 = not stamped). Written by [`mark_retired`], consumed by
+    /// [`record_reclaim_delay`] for the retire→reclaim delay histogram.
+    retire_ns: AtomicU64,
     /// Intrusive link for retired lists / orphan chains.
     pub next: AtomicPtr<SmrHeader>,
     /// Type-erased destructor: reconstructs the `Box<SmrBox<T>>` and drops
@@ -67,6 +73,7 @@ impl SmrHeader {
             header: SmrHeader {
                 birth_era,
                 del_era: AtomicU64::new(NO_ERA),
+                retire_ns: AtomicU64::new(0),
                 next: AtomicPtr::new(std::ptr::null_mut()),
                 drop_fn: drop_box::<T>,
                 value_offset: mem::offset_of!(SmrBox<T>, value) as u32,
@@ -136,7 +143,59 @@ impl SmrHeader {
 pub fn alloc_tracked<T>(value: T, birth_era: u64) -> *mut T {
     let p = SmrHeader::alloc(value, birth_era);
     orc_util::track::global().on_alloc(mem::size_of::<SmrBox<T>>());
+    orc_util::trace_event!(
+        trace::EventKind::Alloc,
+        p as usize,
+        mem::size_of::<SmrBox<T>>()
+    );
     p
+}
+
+/// Retirement bookkeeping shared by every manual scheme: stamps the
+/// retire instant into the header (consumed later by
+/// [`record_reclaim_delay`]) and emits a `Retire{addr,seq}` trace event
+/// carrying the process-wide retire sequence number. Compiles down to
+/// two latched-flag checks when both orc-stats and orc-trace are off.
+///
+/// # Safety
+/// `h` must be a live header owned by the retiring thread (`tid` is the
+/// caller's registry tid).
+#[inline]
+pub unsafe fn mark_retired(tid: usize, h: *mut SmrHeader) {
+    if orc_util::stats::enabled() {
+        // SAFETY: `h` is live per this function's contract.
+        unsafe { &(*h).retire_ns }.store(trace::now_ns(), Ordering::Relaxed);
+    }
+    if trace::enabled() {
+        // SAFETY: as above.
+        let addr = unsafe { SmrHeader::value_word(h) };
+        trace::record_at(
+            tid,
+            trace::EventKind::Retire,
+            addr as u64,
+            trace::next_retire_seq(),
+        );
+    }
+}
+
+/// Feeds the retire→reclaim delay of `h` (if [`mark_retired`] stamped it)
+/// into `stats`. `now_ns` is a caller-latched [`trace::now_ns`] so scan
+/// loops pay one clock read per pass, not one per freed object.
+///
+/// # Safety
+/// `h` must be a live header.
+#[inline]
+pub unsafe fn record_reclaim_delay(
+    stats: &SchemeStats,
+    tid: usize,
+    h: *mut SmrHeader,
+    now_ns: u64,
+) {
+    // SAFETY: `h` is live per this function's contract.
+    let at = unsafe { &(*h).retire_ns }.load(Ordering::Relaxed);
+    if at != 0 {
+        stats.reclaim_delay(tid, now_ns.saturating_sub(at));
+    }
 }
 
 /// Destroys a header-carrying object and records the free.

@@ -9,11 +9,14 @@
 //! improves on.
 
 use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
-use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
+use crate::header::{
+    alloc_tracked, destroy_tracked, mark_retired, record_reclaim_delay, SmrHeader,
+};
 use crate::{Smr, MAX_HPS};
 use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
-use orc_util::{registry, track};
+use orc_util::trace::{self, EventKind};
+use orc_util::{registry, trace_event_at, track};
 use std::sync::Arc;
 
 #[derive(Default)]
@@ -109,6 +112,7 @@ impl Inner {
     /// Frees every entry of `tid`'s retired list not currently protected.
     fn scan(&self, tid: usize) {
         self.stats.bump(tid, Event::Scan);
+        trace_event_at!(tid, EventKind::ScanBegin);
         // SAFETY: `scan` is only called by the thread owning `tid` (retire/
         // flush path) or from the exit hook on that same thread.
         let st = unsafe { self.threads.get_mut(tid) };
@@ -121,12 +125,19 @@ impl Inner {
         scratch.sort_unstable();
         let mut kept = Vec::with_capacity(retired.len());
         let mut freed = 0u64;
+        let delay_now = if orc_util::stats::enabled() {
+            trace::now_ns()
+        } else {
+            0
+        };
         for &h in retired.iter() {
             // SAFETY: retired headers are live until this scan frees them.
             let word = unsafe { SmrHeader::value_word(h) };
             if scratch.binary_search(&word).is_ok() {
                 kept.push(h);
             } else {
+                // SAFETY: `h` is still live here (freed two lines below).
+                unsafe { record_reclaim_delay(&self.stats, tid, h, delay_now) };
                 // SAFETY: `h` is retired (unreachable) and no hazard slot
                 // publishes it — the Michael 2004 reclamation condition.
                 unsafe { destroy_tracked(h) };
@@ -137,6 +148,10 @@ impl Inner {
         }
         self.stats.add(tid, Event::Reclaim, freed);
         self.stats.batch(tid, freed);
+        if freed != 0 {
+            trace_event_at!(tid, EventKind::ReclaimBatch, freed);
+        }
+        trace_event_at!(tid, EventKind::ScanEnd, freed);
         *retired = kept;
     }
 
@@ -217,6 +232,8 @@ impl Smr for HazardPointers {
         // SAFETY: `ptr` came from `Smr::alloc` (the `retire` contract).
         let h = unsafe { SmrHeader::of_value(ptr) };
         orc_util::chk_hooks::on_retire(h as usize);
+        // SAFETY: `h` is the live header just recovered from `ptr`.
+        unsafe { mark_retired(tid, h) };
         let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.stats.bump(tid, Event::Retire);
         self.inner.stats.note_unreclaimed(now as u64);

@@ -12,7 +12,7 @@
 //! harness's leak ledger) clean at teardown.
 
 use crate::hazard::OrphanStack;
-use crate::header::{destroy_tracked, SmrHeader};
+use crate::header::{destroy_tracked, mark_retired, SmrHeader};
 use crate::Smr;
 use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::stats::{self, Event, SchemeStats, StatsSnapshot};
@@ -106,6 +106,10 @@ impl Smr for Leaky {
         // is the value field of a live `SmrLinked` allocation.
         let h = unsafe { SmrHeader::of_value(ptr) };
         orc_util::chk_hooks::on_retire(h as usize);
+        if stats::enabled() || orc_util::trace::enabled() {
+            // SAFETY: `h` is the live header just recovered from `ptr`.
+            unsafe { mark_retired(registry::tid(), h) };
+        }
         // SAFETY: pushing transfers the retired object's ownership to the
         // parked stack; it is never freed before `Inner::drop`.
         unsafe { self.inner.retired.push(h) };

@@ -51,6 +51,12 @@ pub use orc_util::stall;
 pub use orc_util::stats;
 pub use orc_util::stats::StatsSnapshot;
 
+/// Lock-free event tracing (orc-trace). Every scheme emits `Retire`,
+/// `ScanBegin`/`ScanEnd`, `ReclaimBatch` and scheme-specific events into
+/// per-thread ring buffers; `ORC_TRACE=0` disables recording process-wide.
+/// The machinery lives in `orc_util` so the OrcGC domain shares it.
+pub use orc_util::trace;
+
 pub use ebr::Ebr;
 pub use he::HazardEras;
 pub use header::{as_word, SmrHeader};

@@ -18,12 +18,15 @@
 //! counter, preventing the A-was-handed-off-and-back ABA.
 
 use crate::hazard::{ExitHooks, OrphanStack, PerThread, SlotArray};
-use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
+use crate::header::{
+    alloc_tracked, destroy_tracked, mark_retired, record_reclaim_delay, SmrHeader,
+};
 use crate::{Smr, MAX_HPS};
 use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::dwcas::{pack, unpack, AtomicU128};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
-use orc_util::{registry, track, CachePadded};
+use orc_util::trace::{self, EventKind};
+use orc_util::{registry, trace_event_at, track, CachePadded};
 use std::sync::Arc;
 
 #[derive(Default)]
@@ -143,6 +146,7 @@ impl Inner {
                             slot.compare_exchange(cur, pack(h as u64, ver.wrapping_add(1)));
                         if ok {
                             self.stats.bump(tid, Event::Handover);
+                            trace_event_at!(tid, EventKind::Handover, h as usize);
                             let displaced = old_ptr as *mut SmrHeader;
                             if displaced.is_null() {
                                 return None;
@@ -170,6 +174,7 @@ impl Inner {
 
     fn liberate(&self, tid: usize) {
         self.stats.bump(tid, Event::Scan);
+        trace_event_at!(tid, EventKind::ScanBegin);
         // SAFETY: `tid` is the calling thread's registry slot; only the
         // owner (or its exit hook / `Inner::drop`) touches this state.
         let st = unsafe { self.threads.get_mut(tid) };
@@ -177,9 +182,16 @@ impl Inner {
             st.retired.push(h);
         }
         let candidates: Vec<_> = st.retired.drain(..).collect();
+        let delay_now = if orc_util::stats::enabled() {
+            trace::now_ns()
+        } else {
+            0
+        };
         let mut freed = 0u64;
         for h in candidates {
             if let Some(free) = self.liberate_one(tid, h) {
+                // SAFETY: `free` is still live here (freed on the next line).
+                unsafe { record_reclaim_delay(&self.stats, tid, free, delay_now) };
                 // SAFETY: the full guard scan found no trap for `free` and
                 // handed nothing off, so no thread can reach it — the PTB
                 // liberation condition.
@@ -191,6 +203,10 @@ impl Inner {
         }
         self.stats.add(tid, Event::Reclaim, freed);
         self.stats.batch(tid, freed);
+        if freed != 0 {
+            trace_event_at!(tid, EventKind::ReclaimBatch, freed);
+        }
+        trace_event_at!(tid, EventKind::ScanEnd, freed);
     }
 
     /// Clears guard `(tid, idx)` and reclaims/requeues its handoff value.
@@ -209,6 +225,10 @@ impl Inner {
                 // The guard is down; nothing traps it here any more, but
                 // another guard might — re-liberate.
                 if let Some(free) = self.liberate_one(tid, h) {
+                    if orc_util::stats::enabled() {
+                        // SAFETY: `free` is still live here (freed below).
+                        unsafe { record_reclaim_delay(&self.stats, tid, free, trace::now_ns()) };
+                    }
                     // SAFETY: we took exclusive ownership of `h` via the
                     // DWCAS above, and the re-scan found no other guard
                     // trapping `free`.
@@ -317,6 +337,8 @@ impl Smr for PassTheBuck {
         // is the value field of a live `SmrLinked` allocation.
         let h = unsafe { SmrHeader::of_value(ptr) };
         orc_util::chk_hooks::on_retire(h as usize);
+        // SAFETY: `h` is the live header just recovered from `ptr`.
+        unsafe { mark_retired(tid, h) };
         let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.stats.bump(tid, Event::Retire);
         self.inner.stats.note_unreclaimed(now as u64);

@@ -26,11 +26,14 @@
 //! longer reachable from).
 
 use crate::hazard::{ExitHooks, SlotArray};
-use crate::header::{alloc_tracked, destroy_tracked, SmrHeader};
+use crate::header::{
+    alloc_tracked, destroy_tracked, mark_retired, record_reclaim_delay, SmrHeader,
+};
 use crate::{Smr, MAX_HPS};
 use orc_util::atomics::{AtomicUsize, Ordering};
 use orc_util::stats::{Event, SchemeStats, StatsSnapshot};
-use orc_util::{registry, track};
+use orc_util::trace::{self, EventKind};
+use orc_util::{registry, trace_event_at, track};
 use std::sync::Arc;
 
 struct Inner {
@@ -99,6 +102,7 @@ impl Inner {
     /// end of the walk.
     fn handover_or_delete(&self, tid: usize, mut h: *mut SmrHeader, start: usize) {
         self.stats.bump(tid, Event::Scan);
+        trace_event_at!(tid, EventKind::ScanBegin);
         let wm = registry::registered_watermark();
         let mut it = start;
         while it < wm {
@@ -114,7 +118,9 @@ impl Inner {
                         .get(it, idx)
                         .swap(h as usize, Ordering::SeqCst);
                     self.stats.bump(tid, Event::Handover);
+                    trace_event_at!(tid, EventKind::Handover, h as usize);
                     if prev == 0 {
+                        trace_event_at!(tid, EventKind::ScanEnd, 0u64);
                         return;
                     }
                     h = prev as *mut SmrHeader;
@@ -131,6 +137,10 @@ impl Inner {
             }
             it += 1;
         }
+        if orc_util::stats::enabled() {
+            // SAFETY: `h` is still live here (freed below).
+            unsafe { record_reclaim_delay(&self.stats, tid, h, trace::now_ns()) };
+        }
         // SAFETY: the walk covered every registered row without finding a
         // protector, and forward-only handovers mean no slot behind us can
         // regain a protection on a retired (unreachable) object —
@@ -140,6 +150,8 @@ impl Inner {
         track::global().on_reclaim();
         self.stats.bump(tid, Event::Reclaim);
         self.stats.batch(tid, 1);
+        trace_event_at!(tid, EventKind::ReclaimBatch, 1u64);
+        trace_event_at!(tid, EventKind::ScanEnd, 1u64);
     }
 
     /// Clears `hp[tid][idx]` and continues the retirement of any pointer
@@ -224,6 +236,8 @@ impl Smr for PassThePointer {
         // is the value field of a live `SmrLinked` allocation.
         let h = unsafe { SmrHeader::of_value(ptr) };
         orc_util::chk_hooks::on_retire(h as usize);
+        // SAFETY: `h` is the live header just recovered from `ptr`.
+        unsafe { mark_retired(tid, h) };
         let now = self.inner.unreclaimed.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.stats.bump(tid, Event::Retire);
         self.inner.stats.note_unreclaimed(now as u64);

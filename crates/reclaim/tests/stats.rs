@@ -155,6 +155,59 @@ fn ptb_handover_is_counted() {
     assert_eq!(s.stats().outstanding(), 0);
 }
 
+/// Retire→reclaim latency invariants shared by every freeing scheme:
+/// the histogram never accounts for more frees than happened, and the
+/// quantiles are ordered p50 ≤ p99 ≤ max.
+fn check_delay_invariants<S: Smr>(s: &S) {
+    let snap = s.stats();
+    assert!(
+        snap.delays() <= snap.reclaims,
+        "{}: delay samples {} > reclaims {}",
+        s.name(),
+        snap.delays(),
+        snap.reclaims
+    );
+    assert!(
+        snap.delays() > 0,
+        "{}: churn freed objects but recorded no delay samples",
+        s.name()
+    );
+    let (p50, p99, max) = (snap.delay_p50(), snap.delay_p99(), snap.max_delay_ns);
+    assert!(p50 <= p99, "{}: p50 {p50} > p99 {p99}", s.name());
+    assert!(p99 <= max, "{}: p99 {p99} > max {max}", s.name());
+    assert!(max > 0, "{}: max delay never noted", s.name());
+}
+
+#[test]
+fn reclaim_delay_histograms_populate_under_churn() {
+    let hp = HazardPointers::with_threshold(8);
+    churn(&hp, 64);
+    check_delay_invariants(&hp);
+
+    let ebr = Ebr::new();
+    churn(&ebr, 64);
+    check_delay_invariants(&ebr);
+
+    let he = HazardEras::with_threshold(8);
+    churn(&he, 64);
+    check_delay_invariants(&he);
+
+    let ptb = PassTheBuck::with_threshold(8);
+    churn(&ptb, 64);
+    check_delay_invariants(&ptb);
+
+    let ptp = PassThePointer::new();
+    churn(&ptp, 64);
+    check_delay_invariants(&ptp);
+
+    // The None baseline frees nothing while alive, so it must record no
+    // delay samples and render the '-' placeholder.
+    let leaky = Leaky::new();
+    churn(&leaky, 16);
+    assert_eq!(leaky.stats().delays(), 0);
+    assert_eq!(leaky.stats().max_delay_ns, 0);
+}
+
 #[test]
 fn snapshot_deltas_are_monotone_across_churn() {
     let s = HazardPointers::with_threshold(8);

@@ -87,6 +87,9 @@ fn aba_battery(filter: &MatrixFilter, cfg: &Config) {
 }
 
 fn main() {
+    // Any battery assertion that panics dumps the merged orc-trace tail
+    // (the flight recorder) before the process dies.
+    orc_util::trace::install_flight_recorder();
     let filter = match MatrixFilter::from_env() {
         Ok(f) => f,
         Err(e) => {
@@ -114,5 +117,20 @@ fn main() {
     ledger_battery(&filter, &cfg);
     soak_battery(&filter, &cfg);
     aba_battery(&filter, &cfg);
+    if let Ok(path) = std::env::var("ORC_TRACE_OUT") {
+        let path = std::path::PathBuf::from(path);
+        match orc_util::trace::export_chrome(&path) {
+            Ok(()) => println!(
+                "torture: wrote Perfetto trace to {} ({} events, {} overwritten)",
+                path.display(),
+                orc_util::trace::events_recorded(),
+                orc_util::trace::events_dropped()
+            ),
+            Err(e) => {
+                eprintln!("torture: ORC_TRACE_OUT export failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     println!("torture: all batteries passed");
 }

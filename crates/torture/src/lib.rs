@@ -35,6 +35,7 @@ use orc_util::atomics::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use orc_util::registry;
 use orc_util::rng::XorShift64;
 use orc_util::stall::{self, Gate, StallPoint};
+use orc_util::trace;
 use orc_util::track::Ledger;
 use reclaim::{SchemeKind, Smr, StatsSnapshot, MAX_HPS};
 use std::sync::Arc;
@@ -192,6 +193,7 @@ pub fn assert_stall_profile(kind: SchemeKind, r: &StallReport, writers: usize) {
 /// retired it and churned past — the use-after-free check TSan/ASan bite
 /// on if a scheme frees protected memory.
 pub fn stalled_reader_churn<S: Smr + Clone>(smr: S, writers: usize, rounds: u64) -> StallReport {
+    trace::install_flight_recorder();
     let scheme = smr.name();
     let gate = Gate::new();
 
@@ -346,6 +348,7 @@ pub fn drain<S: Smr>(smr: &S, attempts: usize) -> bool {
 /// This is the one place the ledger/drain/teardown discipline lives —
 /// every battery (churn, soak, ABA) layers a different `body` over it.
 pub fn ledgered_set_cell<R>(cell: &SetCell, body: impl FnOnce(&DynSet) -> R) -> (R, StatsSnapshot) {
+    trace::install_flight_recorder();
     let label = cell.label();
     match cell.make {
         MakeSet::Manual(make) => {
@@ -393,6 +396,7 @@ pub fn ledgered_queue_cell<R>(
     cell: &QueueCell,
     body: impl FnOnce(&DynQueue) -> R,
 ) -> (R, StatsSnapshot) {
+    trace::install_flight_recorder();
     let label = cell.label();
     match cell.make {
         MakeQueue::Manual(make) => {

@@ -21,4 +21,4 @@ pub mod record;
 pub mod throughput;
 
 pub use config::BenchConfig;
-pub use record::{print_header, print_row, Measurement};
+pub use record::{print_header, print_row, Measurement, TraceSummary};

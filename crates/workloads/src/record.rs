@@ -28,6 +28,19 @@ pub struct Measurement {
     pub max_unreclaimed: Option<i64>,
     /// Optional orc-stats snapshot (delta over the measured interval).
     pub stats: Option<StatsSnapshot>,
+    /// Optional orc-trace summary (retire→reclaim latency + ring losses).
+    pub trace: Option<TraceSummary>,
+}
+
+/// Condensed orc-trace telemetry attached to a measurement: the
+/// retire→reclaim latency quantiles (from the scheme's delay histogram)
+/// and how many events the bounded trace rings overwrote.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceSummary {
+    pub reclaim_delay_p50_ns: u64,
+    pub reclaim_delay_p99_ns: u64,
+    pub reclaim_delay_max_ns: u64,
+    pub events_dropped: u64,
 }
 
 impl Measurement {
@@ -51,6 +64,7 @@ impl Measurement {
             mem_bytes: None,
             max_unreclaimed: None,
             stats: None,
+            trace: None,
         }
     }
 
@@ -68,6 +82,19 @@ impl Measurement {
     /// output as a nested `"stats"` object.
     pub fn with_stats(mut self, s: StatsSnapshot) -> Self {
         self.stats = Some(s);
+        self
+    }
+
+    /// Attaches an orc-trace summary derived from a stats snapshot's delay
+    /// histogram plus the trace rings' overwrite counter; joins the JSON
+    /// output as a nested `"trace"` object.
+    pub fn with_trace(mut self, s: &StatsSnapshot, events_dropped: u64) -> Self {
+        self.trace = Some(TraceSummary {
+            reclaim_delay_p50_ns: s.delay_p50(),
+            reclaim_delay_p99_ns: s.delay_p99(),
+            reclaim_delay_max_ns: s.max_delay_ns,
+            events_dropped,
+        });
         self
     }
 
@@ -109,6 +136,16 @@ impl Measurement {
                 s.peak_unreclaimed,
                 s.batches(),
                 json_f64(s.mean_batch())
+            ));
+        }
+        if let Some(t) = &self.trace {
+            out.push_str(&format!(
+                ",\"trace\":{{\"reclaim_delay_p50_ns\":{},\"reclaim_delay_p99_ns\":{},\
+                 \"reclaim_delay_max_ns\":{},\"events_dropped\":{}}}",
+                t.reclaim_delay_p50_ns,
+                t.reclaim_delay_p99_ns,
+                t.reclaim_delay_max_ns,
+                t.events_dropped
             ));
         }
         out.push('}');
@@ -259,6 +296,25 @@ mod tests {
             !j.contains("NaN"),
             "zero batches must not leak a NaN mean: {j}"
         );
+    }
+
+    #[test]
+    fn json_includes_trace_when_attached() {
+        let mut s = reclaim::StatsSnapshot::default();
+        // One delayed reclaim in the exact-value bucket "2ns".
+        s.delay_hist[2] = 1;
+        s.max_delay_ns = 2;
+        let m = Measurement::new("e", "s", "w", 1, 1, Duration::from_millis(1)).with_trace(&s, 7);
+        let j = m.json();
+        assert!(
+            j.contains("\"trace\":{\"reclaim_delay_p50_ns\":2,\"reclaim_delay_p99_ns\":2"),
+            "{j}"
+        );
+        assert!(j.contains("\"reclaim_delay_max_ns\":2"), "{j}");
+        assert!(j.contains("\"events_dropped\":7"), "{j}");
+        // A measurement without the summary omits the key entirely.
+        let bare = Measurement::new("e", "s", "w", 1, 1, Duration::from_millis(1));
+        assert!(!bare.json().contains("\"trace\""));
     }
 
     #[test]

@@ -42,7 +42,11 @@ fn run_scheme(cfg: &BenchConfig, threads: usize, kind: SchemeKind) -> (Measureme
     // scheme's live gauge (nodes still linked in the set stay retired-free).
     smr.flush();
     let s = smr.stats();
-    (m.with_stats(s), s)
+    (
+        m.with_stats(s)
+            .with_trace(&s, orc_util::trace::events_dropped()),
+        s,
+    )
 }
 
 fn run_orc(cfg: &BenchConfig, threads: usize) -> (Measurement, StatsSnapshot) {
@@ -62,7 +66,11 @@ fn run_orc(cfg: &BenchConfig, threads: usize) -> (Measurement, StatsSnapshot) {
     );
     orcgc::flush_thread();
     let s = orcgc::domain_stats().since(&base);
-    (m.with_stats(s), s)
+    (
+        m.with_stats(s)
+            .with_trace(&s, orc_util::trace::events_dropped()),
+        s,
+    )
 }
 
 fn main() {
@@ -90,4 +98,6 @@ fn main() {
     println!("outst = retires - reclaims (None never reclaims; its nodes are");
     println!("freed only at teardown). PTP/OrcGC reclaim through handovers in");
     println!("batches of ~1; HP/HE/EBR amortize into larger scan batches.");
+    println!("rd-p50/p99/max = retire→reclaim latency quantiles (orc-trace);");
+    println!("'-' when a scheme freed nothing during the window.");
 }
