@@ -490,6 +490,35 @@ impl StatsSnapshot {
         )
     }
 
+    /// Serializes the scalar counters as one JSON object (hand-rolled —
+    /// the workspace has no serde). This is the nested `"stats"` object
+    /// of `Measurement::json` in `workloads` and of the torture bin's
+    /// `--json` lines: keep the key set append-only so committed
+    /// `BENCH_*.json` baselines stay parseable.
+    pub fn json(&self) -> String {
+        let mean = self.mean_batch();
+        format!(
+            "{{\"retires\":{},\"reclaims\":{},\"scans\":{},\"flushes\":{},\
+             \"protect_retries\":{},\"handovers\":{},\"peak_unreclaimed\":{},\
+             \"batches\":{},\"mean_batch\":{}}}",
+            self.retires,
+            self.reclaims,
+            self.scans,
+            self.flushes,
+            self.protect_retries,
+            self.handovers,
+            self.peak_unreclaimed,
+            self.batches(),
+            // 0-batch snapshots yield mean 0.0 (never NaN), but guard
+            // anyway: `{}` on a non-finite f64 is invalid JSON.
+            if mean.is_finite() {
+                format!("{mean}")
+            } else {
+                "null".into()
+            },
+        )
+    }
+
     /// One-line human summary for progress output.
     pub fn summary(&self) -> String {
         format!(

@@ -5,6 +5,11 @@
 //! [`structures::registry::MatrixFilter::from_env`] — unknown names fail
 //! fast, listing the valid ones). Any violated bound or leaked
 //! allocation panics, failing the run.
+//!
+//! `--json <path>` additionally writes one JSON line per battery cell
+//! (stall profiles and ledger stats, each with a nested `"stats"`
+//! object in the `StatsSnapshot::json` layout), so CI artifact steps
+//! collect machine-readable results without shell redirection.
 
 use reclaim::{SchemeKind, StatsSnapshot};
 use structures::registry::MatrixFilter;
@@ -13,12 +18,26 @@ use torture::{
     soak_set_cell, soak_threads, stall_cell, Config,
 };
 
-fn stall_battery(filter: &MatrixFilter, cfg: &Config) {
+/// JSON lines accumulated by the batteries for `--json`.
+type JsonSink = Vec<String>;
+
+fn stall_battery(filter: &MatrixFilter, cfg: &Config, sink: &mut JsonSink) {
     println!("== stalled-reader fault injection ==");
     let writers = 2;
     for kind in filter.manual_schemes() {
         let r = stall_cell(kind, writers, cfg.stall_rounds);
         report(&r);
+        sink.push(format!(
+            "{{\"battery\":\"stall\",\"scheme\":\"{}\",\"churned\":{},\
+             \"max_unreclaimed\":{},\"stalled_flush_unreclaimed\":{},\
+             \"drained\":{},\"stats\":{}}}",
+            r.scheme,
+            r.churned,
+            r.max_unreclaimed,
+            r.stalled_flush_unreclaimed,
+            r.drained,
+            r.stats.json()
+        ));
         assert_stall_profile(kind, &r, writers);
     }
 }
@@ -31,19 +50,26 @@ fn report(r: &torture::StallReport) {
     println!("        stats: {}", r.stats.summary());
 }
 
-fn ledger_battery(filter: &MatrixFilter, cfg: &Config) {
+fn ledger_battery(filter: &MatrixFilter, cfg: &Config, sink: &mut JsonSink) {
     println!("== leak ledger (scheme × structure) ==");
     println!("  {}", StatsSnapshot::table_header("cell"));
+    let mut record = |label: String, s: &StatsSnapshot| {
+        println!("  {}", s.table_row(&label, None));
+        sink.push(format!(
+            "{{\"battery\":\"ledger\",\"cell\":\"{label}\",\"stats\":{}}}",
+            s.json()
+        ));
+    };
     // Fresh scheme instance per ledgered cell (the cell runners own
     // this): each cell must hold the only handles so teardown frees (the
     // leaky stash) land inside its ledger window.
     for cell in filter.set_cells() {
         let s = churn_set_cell(&cell, cfg.threads, cfg.iters);
-        println!("  {}", s.table_row(&cell.label(), None));
+        record(cell.label(), &s);
     }
     for cell in filter.queue_cells() {
         let s = churn_queue_cell(&cell, cfg.threads, cfg.iters);
-        println!("  {}", s.table_row(&cell.label(), None));
+        record(cell.label(), &s);
     }
 }
 
@@ -86,10 +112,35 @@ fn aba_battery(filter: &MatrixFilter, cfg: &Config) {
     }
 }
 
+/// Parses the CLI: `torture [--json <path>]`. Anything else is a usage
+/// error (exit 2) so CI typos fail loudly instead of silently running
+/// the default battery.
+fn parse_args() -> Option<String> {
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("torture: --json requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("torture: unknown argument {other:?} (usage: torture [--json <path>])");
+                std::process::exit(2);
+            }
+        }
+    }
+    json_path
+}
+
 fn main() {
     // Any battery assertion that panics dumps the merged orc-trace tail
     // (the flight recorder) before the process dies.
     orc_util::trace::install_flight_recorder();
+    let json_path = parse_args();
     let filter = match MatrixFilter::from_env() {
         Ok(f) => f,
         Err(e) => {
@@ -113,10 +164,22 @@ fn main() {
         filter.set_cells().len(),
         filter.queue_cells().len(),
     );
-    stall_battery(&filter, &cfg);
-    ledger_battery(&filter, &cfg);
+    let mut sink = JsonSink::new();
+    stall_battery(&filter, &cfg, &mut sink);
+    ledger_battery(&filter, &cfg, &mut sink);
     soak_battery(&filter, &cfg);
     aba_battery(&filter, &cfg);
+    if let Some(path) = json_path {
+        let mut doc = sink.join("\n");
+        doc.push('\n');
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("torture: wrote {} JSON lines to {path}", sink.len()),
+            Err(e) => {
+                eprintln!("torture: cannot write --json {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Ok(path) = std::env::var("ORC_TRACE_OUT") {
         let path = std::path::PathBuf::from(path);
         match orc_util::trace::export_chrome(&path) {

@@ -1,0 +1,159 @@
+//! orc-bench: run the paper-figure benchmark matrix, or gate a new
+//! report against a committed baseline.
+//!
+//! ```text
+//! orc-bench [--profile short|full] [--out PATH]
+//! orc-bench --compare BASELINE NEW [--tolerance PCT] [--cross-tolerance PCT]
+//! ```
+//!
+//! Run mode sweeps the registry matrix (sliceable with `ORC_SCHEMES` /
+//! `ORC_STRUCTS`, sized with the `ORC_BENCH_*` knobs) and writes one
+//! schema-versioned JSON report (default `BENCH_run.json`). Compare
+//! mode joins two reports per cell and exits non-zero on throughput
+//! regressions beyond tolerance; a *missing baseline file* skips the
+//! gate with exit 0 (first run has nothing to compare against).
+//!
+//! Exit codes: 0 ok/skip, 1 regressions found, 2 usage or input error.
+
+use std::path::Path;
+use std::process::ExitCode;
+use structures::registry::MatrixFilter;
+use workloads::compare::{compare_files, CompareConfig, GateOutcome};
+use workloads::runner::{Profile, Report, RunnerConfig};
+use workloads::{print_header, print_row};
+
+const USAGE: &str = "usage:
+  orc-bench [--profile short|full] [--out PATH]
+  orc-bench --compare BASELINE NEW [--tolerance PCT] [--cross-tolerance PCT]
+
+run mode respects ORC_SCHEMES / ORC_STRUCTS (matrix slicing) and the
+ORC_BENCH_* sizing knobs; see EXPERIMENTS.md \"Reproducing the paper
+figures\".";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("orc-bench: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--compare") {
+        compare_main(&args)
+    } else {
+        run_main(&args)
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn run_main(args: &[String]) -> ExitCode {
+    let profile = match flag_value(args, "--profile") {
+        Err(e) => return fail(&e),
+        Ok(None) => Profile::Short,
+        Ok(Some(p)) => match Profile::parse(p) {
+            Some(p) => p,
+            None => return fail(&format!("unknown profile {p:?} (short|full)")),
+        },
+    };
+    let out = match flag_value(args, "--out") {
+        Err(e) => return fail(&e),
+        Ok(v) => v.unwrap_or("BENCH_run.json").to_string(),
+    };
+    // Unknown positional/flag tokens are user error, not silence.
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" | "--out" => i += 2,
+            other => return fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let filter = match MatrixFilter::from_env() {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let cfg = RunnerConfig::new(profile);
+    eprintln!(
+        "orc-bench: profile {} — {} thread counts, {} runs/cell (+{} warmup), {:.2}s/set-point",
+        profile.name(),
+        cfg.threads.len(),
+        cfg.runs,
+        cfg.warmup,
+        cfg.seconds_per_point.as_secs_f64()
+    );
+    let report = Report::generate(&cfg, &filter, &mut |done, total, id| {
+        eprintln!("orc-bench: [{:>3}/{total}] {id}", done + 1);
+    });
+    print_header(&format!(
+        "orc-bench {} profile — median of {} runs (IQR-trimmed)",
+        profile.name(),
+        cfg.runs
+    ));
+    for cell in &report.cells {
+        print_row(&cell.measurement);
+    }
+    match std::fs::write(&out, report.json()) {
+        Ok(()) => {
+            println!(
+                "\norc-bench: wrote {} ({} cells, machine {}, sha {})",
+                out,
+                report.cells.len(),
+                report.machine.cpu_model,
+                &report.git_sha[..report.git_sha.len().min(12)]
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("cannot write {out}: {e}")),
+    }
+}
+
+fn compare_main(args: &[String]) -> ExitCode {
+    let pos = args.iter().position(|a| a == "--compare").unwrap();
+    let (Some(baseline), Some(current)) = (args.get(pos + 1), args.get(pos + 2)) else {
+        return fail("--compare needs BASELINE and NEW report paths");
+    };
+    let mut cfg = CompareConfig::default();
+    match flag_value(args, "--tolerance") {
+        Err(e) => return fail(&e),
+        Ok(Some(v)) => match v.parse::<f64>() {
+            Ok(t) if t >= 0.0 && t.is_finite() => cfg.tolerance_pct = t,
+            _ => return fail(&format!("invalid --tolerance {v:?}")),
+        },
+        Ok(None) => {}
+    }
+    match flag_value(args, "--cross-tolerance") {
+        Err(e) => return fail(&e),
+        Ok(Some(v)) => match v.parse::<f64>() {
+            Ok(t) if t >= 0.0 && t.is_finite() => cfg.cross_tolerance_pct = t,
+            _ => return fail(&format!("invalid --cross-tolerance {v:?}")),
+        },
+        Ok(None) => {}
+    }
+    match compare_files(Path::new(baseline), Path::new(current), &cfg) {
+        Err(e) => fail(&e),
+        Ok(GateOutcome::SkippedNoBaseline { baseline }) => {
+            println!("perf gate: no baseline at {baseline} — skipping (first run?)");
+            ExitCode::SUCCESS
+        }
+        Ok(GateOutcome::Compared(report)) => {
+            print!("{}", report.render());
+            if report.regressions().is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

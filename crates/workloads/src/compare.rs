@@ -1,0 +1,288 @@
+//! Baseline comparison for `BENCH_<n>.json` reports — the CI
+//! perf-regression gate.
+//!
+//! Two reports are joined on cell `id`; every throughput cell's
+//! `mops_median` is compared against the baseline with a tolerance
+//! band. The gate fails (non-zero exit in the bin) only on regressions
+//! beyond tolerance; improvements, new cells and cells that vanished
+//! are reported but never fail the gate.
+//!
+//! # Cross-machine tolerance
+//!
+//! Absolute Mops/s do not transfer between hosts: the committed
+//! baseline typically comes from a dev box while the gate runs on a CI
+//! runner. Each report carries a machine fingerprint (CPU model, core
+//! count, arch); when the fingerprints differ the comparator widens
+//! the band to `cross_tolerance_pct`, which should be set so only
+//! catastrophic regressions (an order-of-magnitude cliff, a scheme
+//! accidentally serialized) trip it. Same-fingerprint comparisons use
+//! the tight `tolerance_pct`.
+
+use crate::json::Json;
+use crate::runner::SCHEMA;
+use std::path::Path;
+
+/// Comparator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Allowed throughput drop, percent, when both reports come from
+    /// the same machine fingerprint.
+    pub tolerance_pct: f64,
+    /// Allowed drop when fingerprints differ (dev box vs CI runner).
+    pub cross_tolerance_pct: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            tolerance_pct: 25.0,
+            cross_tolerance_pct: 90.0,
+        }
+    }
+}
+
+/// Per-cell comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellDelta {
+    /// Within the band (or an improvement): `delta_pct` is signed,
+    /// negative = slower than baseline.
+    Ok { id: String, delta_pct: f64 },
+    /// Slower than baseline by more than the tolerance.
+    Regressed {
+        id: String,
+        base_mops: f64,
+        new_mops: f64,
+        delta_pct: f64,
+    },
+    /// In the new report only (new structure/scheme): informational.
+    New { id: String },
+    /// In the baseline only (structure/scheme removed): informational.
+    Missing { id: String },
+    /// Not comparable (bound cell, zero/NaN baseline, zero-ops run):
+    /// skipped with a reason, never gated.
+    Skipped { id: String, reason: String },
+}
+
+/// Result of comparing two reports.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Whether the machine fingerprints matched.
+    pub same_machine: bool,
+    /// The tolerance actually applied (percent).
+    pub applied_tolerance_pct: f64,
+    pub deltas: Vec<CellDelta>,
+}
+
+impl CompareReport {
+    pub fn regressions(&self) -> Vec<&CellDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| matches!(d, CellDelta::Regressed { .. }))
+            .collect()
+    }
+
+    /// Human-readable summary, one line per noteworthy cell plus a
+    /// verdict footer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf gate: tolerance {:.1}% ({} machine)\n",
+            self.applied_tolerance_pct,
+            if self.same_machine {
+                "same"
+            } else {
+                "DIFFERENT — widened cross-machine band"
+            }
+        ));
+        let mut ok = 0usize;
+        for d in &self.deltas {
+            match d {
+                CellDelta::Ok { id, delta_pct } => {
+                    ok += 1;
+                    if *delta_pct > self.applied_tolerance_pct {
+                        out.push_str(&format!("  IMPROVED  {id}  +{delta_pct:.1}%\n"));
+                    }
+                }
+                CellDelta::Regressed {
+                    id,
+                    base_mops,
+                    new_mops,
+                    delta_pct,
+                } => out.push_str(&format!(
+                    "  REGRESSED {id}  {base_mops:.3} -> {new_mops:.3} Mops/s ({delta_pct:.1}%)\n"
+                )),
+                CellDelta::New { id } => out.push_str(&format!("  NEW       {id}\n")),
+                CellDelta::Missing { id } => out.push_str(&format!("  MISSING   {id}\n")),
+                CellDelta::Skipped { id, reason } => {
+                    out.push_str(&format!("  SKIPPED   {id}  ({reason})\n"))
+                }
+            }
+        }
+        let regs = self.regressions().len();
+        out.push_str(&format!(
+            "perf gate: {ok} within band, {regs} regression(s)\n"
+        ));
+        out
+    }
+}
+
+/// A parsed report, reduced to what the comparator needs.
+#[derive(Debug, Clone)]
+pub struct ParsedReport {
+    pub machine_key: String,
+    /// `(id, kind, mops_median)` per cell.
+    pub cells: Vec<(String, String, Option<f64>)>,
+}
+
+/// Parses and validates one report document. Rejects anything that is
+/// not this crate's schema version with an actionable error.
+pub fn parse_report(text: &str) -> Result<ParsedReport, String> {
+    let j = Json::parse(text)?;
+    let schema = j
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "not an orc-bench report: missing \"schema\" field".to_string())?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "unsupported schema {schema:?} (this binary reads {SCHEMA:?}); \
+             regenerate the baseline with the current orc-bench"
+        ));
+    }
+    let machine = j
+        .get("machine")
+        .ok_or_else(|| "report is missing the \"machine\" fingerprint".to_string())?;
+    let field = |k: &str| {
+        machine
+            .get(k)
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string()
+    };
+    let cpus = machine.get("cpus").and_then(Json::as_u64).unwrap_or(0);
+    let machine_key = format!("{}/{}/{}", field("cpu_model"), cpus, field("arch"));
+    let cells_json = j
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "report is missing the \"cells\" array".to_string())?;
+    let mut cells = Vec::with_capacity(cells_json.len());
+    for (i, c) in cells_json.iter().enumerate() {
+        let id = c
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("cell #{i} has no \"id\""))?
+            .to_string();
+        let kind = c
+            .get("kind")
+            .and_then(Json::as_str)
+            .unwrap_or("throughput")
+            .to_string();
+        // `null` (a NaN/zero-elapsed run) parses as None — skipped later.
+        let mops = c.get("mops_median").and_then(Json::as_f64);
+        cells.push((id, kind, mops));
+    }
+    Ok(ParsedReport { machine_key, cells })
+}
+
+/// Compares two parsed reports.
+pub fn compare(
+    baseline: &ParsedReport,
+    current: &ParsedReport,
+    cfg: &CompareConfig,
+) -> CompareReport {
+    let same_machine =
+        baseline.machine_key == current.machine_key && !baseline.machine_key.starts_with("unknown");
+    let tol = if same_machine {
+        cfg.tolerance_pct
+    } else {
+        cfg.cross_tolerance_pct
+    };
+    let mut deltas = Vec::new();
+    for (id, kind, mops) in &current.cells {
+        let base = baseline.cells.iter().find(|(bid, _, _)| bid == id);
+        let Some((_, _, base_mops)) = base else {
+            deltas.push(CellDelta::New { id: id.clone() });
+            continue;
+        };
+        if kind != "throughput" {
+            deltas.push(CellDelta::Skipped {
+                id: id.clone(),
+                reason: format!("{kind} cells are informational"),
+            });
+            continue;
+        }
+        let (Some(b), Some(n)) = (*base_mops, *mops) else {
+            deltas.push(CellDelta::Skipped {
+                id: id.clone(),
+                reason: "missing mops_median (degenerate run)".into(),
+            });
+            continue;
+        };
+        // A zero or non-finite baseline cannot anchor a ratio: a
+        // zero-ops cell must never divide-by-zero its way into a gate
+        // verdict.
+        if !b.is_finite() || !n.is_finite() || b <= 0.0 {
+            deltas.push(CellDelta::Skipped {
+                id: id.clone(),
+                reason: format!("non-comparable mops (base {b}, new {n})"),
+            });
+            continue;
+        }
+        let delta_pct = (n - b) / b * 100.0;
+        if delta_pct < -tol {
+            deltas.push(CellDelta::Regressed {
+                id: id.clone(),
+                base_mops: b,
+                new_mops: n,
+                delta_pct,
+            });
+        } else {
+            deltas.push(CellDelta::Ok {
+                id: id.clone(),
+                delta_pct,
+            });
+        }
+    }
+    for (id, _, _) in &baseline.cells {
+        if !current.cells.iter().any(|(cid, _, _)| cid == id) {
+            deltas.push(CellDelta::Missing { id: id.clone() });
+        }
+    }
+    CompareReport {
+        same_machine,
+        applied_tolerance_pct: tol,
+        deltas,
+    }
+}
+
+/// File-level gate outcome, as the bin surfaces it.
+#[derive(Debug)]
+pub enum GateOutcome {
+    /// Baseline absent — first run on a fresh branch: the gate passes.
+    SkippedNoBaseline { baseline: String },
+    /// Comparison ran; regressions (if any) are inside.
+    Compared(CompareReport),
+}
+
+/// Compares two report files. A missing *baseline* file skips the gate
+/// gracefully (exit 0 in the bin — first run has nothing to compare
+/// against); every other failure (missing current file, malformed or
+/// old-schema JSON) is an error.
+pub fn compare_files(
+    baseline: &Path,
+    current: &Path,
+    cfg: &CompareConfig,
+) -> Result<GateOutcome, String> {
+    if !baseline.exists() {
+        return Ok(GateOutcome::SkippedNoBaseline {
+            baseline: baseline.display().to_string(),
+        });
+    }
+    let base_text = std::fs::read_to_string(baseline)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline.display()))?;
+    let cur_text = std::fs::read_to_string(current)
+        .map_err(|e| format!("cannot read report {}: {e}", current.display()))?;
+    let base =
+        parse_report(&base_text).map_err(|e| format!("baseline {}: {e}", baseline.display()))?;
+    let cur = parse_report(&cur_text).map_err(|e| format!("report {}: {e}", current.display()))?;
+    Ok(GateOutcome::Compared(compare(&base, &cur, cfg)))
+}

@@ -13,11 +13,21 @@
 //!   every scheme feeds (for the §5 memory experiment).
 //! * [`bound`] — the stalled-reader adversary that measures each scheme's
 //!   maximum retired-but-unreclaimed backlog (the empirical Table 1).
+//! * [`runner`] — orc-bench: the registry-matrix sweep with warmup,
+//!   repeated runs and IQR outlier trimming, emitting the
+//!   schema-versioned `BENCH_<n>.json` perf-trajectory reports.
+//! * [`compare`] — the baseline comparator behind the CI
+//!   perf-regression gate (`orc-bench --compare`).
+//! * [`json`] — the dependency-free JSON parser the comparator reads
+//!   reports with.
 
 pub mod bound;
+pub mod compare;
 pub mod config;
+pub mod json;
 pub mod memprobe;
 pub mod record;
+pub mod runner;
 pub mod throughput;
 
 pub use config::BenchConfig;

@@ -123,20 +123,8 @@ impl Measurement {
             out.push_str(&format!(",\"max_unreclaimed\":{n}"));
         }
         if let Some(s) = &self.stats {
-            out.push_str(&format!(
-                ",\"stats\":{{\"retires\":{},\"reclaims\":{},\"scans\":{},\"flushes\":{},\
-                 \"protect_retries\":{},\"handovers\":{},\"peak_unreclaimed\":{},\
-                 \"batches\":{},\"mean_batch\":{}}}",
-                s.retires,
-                s.reclaims,
-                s.scans,
-                s.flushes,
-                s.protect_retries,
-                s.handovers,
-                s.peak_unreclaimed,
-                s.batches(),
-                json_f64(s.mean_batch())
-            ));
+            out.push_str(",\"stats\":");
+            out.push_str(&s.json());
         }
         if let Some(t) = &self.trace {
             out.push_str(&format!(
@@ -212,16 +200,32 @@ pub fn print_row(m: &Measurement) {
 
 /// Appends JSON lines to `$ORC_BENCH_JSON` if set.
 pub fn maybe_dump_json(ms: &[Measurement]) {
-    if let Ok(path) = std::env::var("ORC_BENCH_JSON") {
-        if let Ok(mut f) = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-        {
+    let env_path = std::env::var("ORC_BENCH_JSON").ok();
+    maybe_dump_json_to(env_path.as_deref(), ms);
+}
+
+/// Appends JSON lines to `path` when given, else to `$ORC_BENCH_JSON`
+/// when set. Bins route their `--json <path>` flag here so a CLI flag
+/// always beats the environment.
+pub fn maybe_dump_json_to(path: Option<&str>, ms: &[Measurement]) {
+    let path = match path
+        .map(str::to_owned)
+        .or_else(|| std::env::var("ORC_BENCH_JSON").ok())
+    {
+        Some(p) => p,
+        None => return,
+    };
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
             for m in ms {
                 let _ = writeln!(f, "{}", m.json());
             }
         }
+        Err(e) => eprintln!("warning: could not append JSON lines to {path}: {e}"),
     }
 }
 

@@ -1,0 +1,263 @@
+//! Comparator battery: the CI perf-regression gate must fail on real
+//! regressions, pass improvements, skip gracefully when no baseline
+//! exists, reject malformed or old-schema input with a clear error,
+//! and never divide by zero on degenerate cells.
+
+use workloads::compare::{
+    compare, compare_files, parse_report, CellDelta, CompareConfig, GateOutcome,
+};
+use workloads::runner::SCHEMA;
+
+/// Builds a minimal schema-valid report document.
+fn report_json(machine_model: &str, cells: &[(&str, &str, &str)]) -> String {
+    let cells: Vec<String> = cells
+        .iter()
+        .map(|(id, kind, mops)| {
+            format!(
+                "{{\"id\":\"{id}\",\"kind\":\"{kind}\",\"runs\":3,\"kept\":3,\
+                 \"mops_median\":{mops},\"mops_min\":{mops},\"mops_max\":{mops},\
+                 \"measurement\":{{\"experiment\":\"e\",\"series\":\"s\",\
+                 \"workload\":\"w\",\"threads\":1,\"ops\":10,\"elapsed_s\":0.1,\
+                 \"mops\":{mops}}}}}"
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"profile\":\"short\",\"git_sha\":\"abc\",\
+         \"generated_unix\":1,\"machine\":{{\"hostname\":\"h\",\"os\":\"linux\",\
+         \"arch\":\"x86_64\",\"cpus\":8,\"cpu_model\":\"{machine_model}\"}},\
+         \"config\":{{}},\"cells\":[{}]}}",
+        cells.join(",")
+    )
+}
+
+fn cfg() -> CompareConfig {
+    CompareConfig {
+        tolerance_pct: 20.0,
+        cross_tolerance_pct: 90.0,
+    }
+}
+
+#[test]
+fn regression_beyond_tolerance_fails() {
+    let base = parse_report(&report_json(
+        "cpu",
+        &[("fig1-2/HP/MSQueue/t1", "throughput", "10.0")],
+    ))
+    .unwrap();
+    let new = parse_report(&report_json(
+        "cpu",
+        &[("fig1-2/HP/MSQueue/t1", "throughput", "7.0")],
+    ))
+    .unwrap();
+    let r = compare(&base, &new, &cfg());
+    assert!(r.same_machine);
+    assert_eq!(r.applied_tolerance_pct, 20.0);
+    let regs = r.regressions();
+    assert_eq!(regs.len(), 1, "-30% must trip a 20% band: {:?}", r.deltas);
+    match regs[0] {
+        CellDelta::Regressed { delta_pct, .. } => assert!((delta_pct + 30.0).abs() < 1e-9),
+        other => panic!("expected Regressed, got {other:?}"),
+    }
+    // The rendered report names the cell and the verdict.
+    let text = r.render();
+    assert!(
+        text.contains("REGRESSED") && text.contains("fig1-2/HP/MSQueue/t1"),
+        "{text}"
+    );
+}
+
+#[test]
+fn within_band_and_improvement_pass() {
+    let base = parse_report(&report_json(
+        "cpu",
+        &[("a", "throughput", "10.0"), ("b", "throughput", "10.0")],
+    ))
+    .unwrap();
+    // a: −10% (inside 20% band); b: +300% (improvements never fail).
+    let new = parse_report(&report_json(
+        "cpu",
+        &[("a", "throughput", "9.0"), ("b", "throughput", "40.0")],
+    ))
+    .unwrap();
+    let r = compare(&base, &new, &cfg());
+    assert!(r.regressions().is_empty(), "{:?}", r.deltas);
+}
+
+#[test]
+fn identical_reports_have_zero_regressions() {
+    // The acceptance-criterion shape: two runs of the same profile with
+    // identical numbers → zero regressions at any tolerance.
+    let text = report_json(
+        "cpu",
+        &[
+            ("fig3-6/HP/MichaelList/50i-50r/t1", "throughput", "1.5"),
+            ("fig1-2/OrcGC/MSQueue-OrcGC/t2", "throughput", "3.25"),
+            ("table1/PTP/stalled-reader/t4", "bound", "0.1"),
+        ],
+    );
+    let base = parse_report(&text).unwrap();
+    let new = parse_report(&text).unwrap();
+    let r = compare(
+        &base,
+        &new,
+        &CompareConfig {
+            tolerance_pct: 0.001,
+            ..cfg()
+        },
+    );
+    assert!(r.regressions().is_empty(), "{:?}", r.deltas);
+}
+
+#[test]
+fn cross_machine_widens_tolerance() {
+    let base = parse_report(&report_json("dev-box-cpu", &[("a", "throughput", "10.0")])).unwrap();
+    let new = parse_report(&report_json("ci-runner-cpu", &[("a", "throughput", "4.0")])).unwrap();
+    // −60%: trips the 20% same-machine band, passes the 90% cross band.
+    let r = compare(&base, &new, &cfg());
+    assert!(!r.same_machine);
+    assert_eq!(r.applied_tolerance_pct, 90.0);
+    assert!(r.regressions().is_empty(), "{:?}", r.deltas);
+    // A catastrophic cliff still fails across machines.
+    let new = parse_report(&report_json("ci-runner-cpu", &[("a", "throughput", "0.5")])).unwrap();
+    let r = compare(&base, &new, &cfg());
+    assert_eq!(r.regressions().len(), 1, "-95% must trip the cross band");
+}
+
+#[test]
+fn bound_cells_and_new_or_missing_cells_never_gate() {
+    let base = parse_report(&report_json(
+        "cpu",
+        &[("t1/bound", "bound", "10.0"), ("gone", "throughput", "1.0")],
+    ))
+    .unwrap();
+    let new = parse_report(&report_json(
+        "cpu",
+        &[
+            ("t1/bound", "bound", "0.01"),
+            ("brand-new", "throughput", "1.0"),
+        ],
+    ))
+    .unwrap();
+    let r = compare(&base, &new, &cfg());
+    assert!(r.regressions().is_empty(), "{:?}", r.deltas);
+    assert!(r
+        .deltas
+        .iter()
+        .any(|d| matches!(d, CellDelta::New { id } if id == "brand-new")));
+    assert!(r
+        .deltas
+        .iter()
+        .any(|d| matches!(d, CellDelta::Missing { id } if id == "gone")));
+    assert!(r
+        .deltas
+        .iter()
+        .any(|d| matches!(d, CellDelta::Skipped { id, .. } if id == "t1/bound")));
+}
+
+#[test]
+fn zero_and_null_cells_never_divide_by_zero() {
+    // Baseline mops 0 (zero-ops run) and null (NaN serialized): both
+    // must be skipped, not gated or panicked on.
+    let base = parse_report(&report_json(
+        "cpu",
+        &[("z", "throughput", "0"), ("n", "throughput", "null")],
+    ))
+    .unwrap();
+    let new = parse_report(&report_json(
+        "cpu",
+        &[("z", "throughput", "5.0"), ("n", "throughput", "5.0")],
+    ))
+    .unwrap();
+    let r = compare(&base, &new, &cfg());
+    assert!(r.regressions().is_empty());
+    let skipped = r
+        .deltas
+        .iter()
+        .filter(|d| matches!(d, CellDelta::Skipped { .. }))
+        .count();
+    assert_eq!(skipped, 2, "{:?}", r.deltas);
+}
+
+#[test]
+fn missing_baseline_file_skips_gracefully() {
+    let dir = std::env::temp_dir().join("orc-bench-test-missing-baseline");
+    let _ = std::fs::create_dir_all(&dir);
+    let current = dir.join("current.json");
+    std::fs::write(&current, report_json("cpu", &[("a", "throughput", "1.0")])).unwrap();
+    let out = compare_files(&dir.join("does-not-exist.json"), &current, &cfg()).unwrap();
+    assert!(matches!(out, GateOutcome::SkippedNoBaseline { .. }));
+}
+
+#[test]
+fn missing_current_file_is_an_error() {
+    let dir = std::env::temp_dir().join("orc-bench-test-missing-current");
+    let _ = std::fs::create_dir_all(&dir);
+    let baseline = dir.join("baseline.json");
+    std::fs::write(&baseline, report_json("cpu", &[("a", "throughput", "1.0")])).unwrap();
+    let err = compare_files(&baseline, &dir.join("nope.json"), &cfg()).unwrap_err();
+    assert!(err.contains("cannot read report"), "{err}");
+}
+
+#[test]
+fn malformed_json_is_rejected_with_position() {
+    let err = parse_report("{\"schema\":").unwrap_err();
+    assert!(err.contains("JSON parse error"), "{err}");
+    let err = parse_report("not json at all").unwrap_err();
+    assert!(err.contains("JSON parse error"), "{err}");
+}
+
+#[test]
+fn old_or_foreign_schema_is_rejected_clearly() {
+    let old = report_json("cpu", &[]).replace(SCHEMA, "orc-bench/v0");
+    let err = parse_report(&old).unwrap_err();
+    assert!(
+        err.contains("unsupported schema") && err.contains("orc-bench/v0"),
+        "{err}"
+    );
+    let err = parse_report("{\"cells\":[]}").unwrap_err();
+    assert!(err.contains("missing \"schema\""), "{err}");
+}
+
+#[test]
+fn real_runner_report_self_compares_clean() {
+    // End-to-end: generate a real (tiny) report through the runner and
+    // gate it against itself — the acceptance criterion's "two runs of
+    // the same profile report zero regressions" in its deterministic
+    // form (identical file both sides).
+    use structures::registry::MatrixFilter;
+    use workloads::runner::{Profile, Report, RunnerConfig};
+    let mut cfg_r = RunnerConfig::from_bench(
+        Profile::Short,
+        &workloads::BenchConfig::from_lookup(|name| match name {
+            "ORC_BENCH_SECONDS" => Some("0.02".into()),
+            "ORC_BENCH_OPS" => Some("400".into()),
+            "ORC_BENCH_THREADS" => Some("1".into()),
+            _ => None,
+        }),
+    );
+    cfg_r.runs = 2;
+    cfg_r.warmup = 0;
+    cfg_r.bound_ops = 200;
+    let report = Report::generate(&cfg_r, &MatrixFilter::full(), &mut |_, _, _| {});
+    let text = report.json();
+    let parsed = parse_report(&text).expect("runner output parses as a report");
+    let r = compare(
+        &parsed,
+        &parsed,
+        &CompareConfig {
+            tolerance_pct: 0.0,
+            ..cfg()
+        },
+    );
+    assert!(r.same_machine, "fingerprint must match itself");
+    assert!(r.regressions().is_empty());
+    // Every throughput cell landed in the Ok bucket (nothing silently
+    // skipped except the table1 bound rows).
+    let oks = r
+        .deltas
+        .iter()
+        .filter(|d| matches!(d, CellDelta::Ok { .. }))
+        .count();
+    assert!(oks >= 14, "expected ≥14 gated throughput cells, got {oks}");
+}

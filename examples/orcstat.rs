@@ -11,16 +11,18 @@
 //!
 //! Respects the bench knobs (`ORC_BENCH_SECONDS`, `ORC_BENCH_THREADS` —
 //! first entry — and `ORC_BENCH_JSON` for a JSON-lines dump) and the
-//! `ORC_STATS=0` kill switch (rows go to zero, throughput stays).
+//! `ORC_STATS=0` kill switch (rows go to zero, throughput stays). A
+//! `--json <path>` flag dumps the same JSON lines to an explicit file,
+//! taking precedence over the env var.
 //!
-//! Run: `cargo run --release --example orcstat`
+//! Run: `cargo run --release --example orcstat [-- --json orcstat.json]`
 
 use orcgc_suite::prelude::*;
 use reclaim::StatsSnapshot;
 use std::sync::Arc;
 use structures::list::{MichaelList, MichaelListOrc};
 use workloads::config::BenchConfig;
-use workloads::record::{maybe_dump_json, Measurement};
+use workloads::record::{maybe_dump_json_to, Measurement};
 use workloads::throughput::{prefill_set, set_mix, Mix};
 
 const KEYS: u64 = 128;
@@ -74,6 +76,23 @@ fn run_orc(cfg: &BenchConfig, threads: usize) -> (Measurement, StatsSnapshot) {
 }
 
 fn main() {
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("orcstat: --json requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("orcstat: unknown argument {other:?} (usage: orcstat [--json <path>])");
+                std::process::exit(2);
+            }
+        }
+    }
     let cfg = BenchConfig::from_env();
     let threads = cfg.threads.first().copied().unwrap_or(2);
     println!(
@@ -92,7 +111,8 @@ fn main() {
     println!("{}", s.table_row("OrcGC", Some(m.mops)));
     ms.push(m);
 
-    maybe_dump_json(&ms);
+    // Flag beats env: an explicit --json path wins over ORC_BENCH_JSON.
+    maybe_dump_json_to(json_path.as_deref(), &ms);
 
     println!();
     println!("outst = retires - reclaims (None never reclaims; its nodes are");
